@@ -1,0 +1,77 @@
+// Shared command-line handling for the figure/table regeneration benches.
+//
+// Every bench runs with paper-shaped defaults scaled down to finish in
+// seconds; pass --graphs 200 (and friends) to reproduce the paper's full
+// corpus sizes. --csv switches the output to machine-readable form.
+
+#ifndef MWL_BENCH_BENCH_COMMON_HPP
+#define MWL_BENCH_BENCH_COMMON_HPP
+
+#include "report/table.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace mwl::bench {
+
+struct bench_options {
+    std::size_t graphs = 25;      ///< corpus size per (|O|, slack) point
+    std::uint64_t seed = 2001;    ///< corpus base seed
+    bool csv = false;             ///< CSV instead of aligned table
+    double ilp_time_limit = 5.0;  ///< per-instance ILP wall limit (seconds)
+    std::size_t max_size = 0;     ///< 0 = bench default
+};
+
+inline bench_options parse_options(int argc, char** argv,
+                                   const char* bench_name)
+{
+    bench_options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next_value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << bench_name << ": missing value for " << arg
+                          << '\n';
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--graphs") {
+            opt.graphs = std::stoul(next_value());
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(next_value());
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--ilp-time-limit") {
+            opt.ilp_time_limit = std::stod(next_value());
+        } else if (arg == "--max-size") {
+            opt.max_size = std::stoul(next_value());
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << bench_name
+                      << " [--graphs N] [--seed S] [--csv]"
+                         " [--ilp-time-limit SEC] [--max-size N]\n"
+                         "Defaults are scaled for quick runs; use"
+                         " --graphs 200 for the paper's corpus size.\n";
+            std::exit(0);
+        } else {
+            std::cerr << bench_name << ": unknown option " << arg << '\n';
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+inline void emit(const table& t, const bench_options& opt)
+{
+    if (opt.csv) {
+        t.print_csv(std::cout);
+    } else {
+        t.print(std::cout);
+    }
+}
+
+} // namespace mwl::bench
+
+#endif // MWL_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,70 @@
+// Fig. 3: area penalty (%) of the two-stage approach [4] over this paper's
+// heuristic, as a function of problem size |O| and latency constraint
+// relaxation.
+//
+// Protocol (paper §3): random sequencing graphs per problem size
+// (TGFF-adapted generator), lambda_min computed per graph, latency
+// constraints at 0%..30% relaxation, mean over the corpus of the relative
+// area increase of the two-stage solution over DPAlloc's.
+//
+// Expected shape: penalty ~0% at zero slack (neither algorithm can trade
+// latency for area) and grows with slack and with |O| into the tens of
+// percent -- "even a small 'slack' enables significant improvements".
+//
+// Default: 25 graphs/point, sizes 2..24 step 2. Paper corpus: --graphs 200.
+
+#include "baseline/two_stage.hpp"
+#include "bench_common.hpp"
+#include "core/dpalloc.hpp"
+#include "core/validate.hpp"
+#include "support/stats.hpp"
+#include "tgff/corpus.hpp"
+
+#include <iostream>
+#include <vector>
+
+int main(int argc, char** argv)
+{
+    using namespace mwl;
+    const bench::bench_options opt =
+        bench::parse_options(argc, argv, "fig3_area_penalty");
+    const std::size_t max_size = opt.max_size == 0 ? 24 : opt.max_size;
+    const std::vector<double> slacks{0.0, 0.10, 0.20, 0.30};
+
+    const sonic_model model;
+    table t("Fig. 3: mean area penalty (%) of two-stage [4] over DPAlloc");
+    std::vector<std::string> head{"|O|"};
+    for (const double s : slacks) {
+        head.push_back("slack " +
+                       std::to_string(static_cast<int>(s * 100)) + "%");
+    }
+    t.header(head);
+
+    for (std::size_t n = 2; n <= max_size; n += 2) {
+        const auto corpus = make_corpus(n, opt.graphs, model, opt.seed);
+        std::vector<std::string> row{table::num(static_cast<int>(n))};
+        for (const double slack : slacks) {
+            std::vector<double> penalties;
+            penalties.reserve(corpus.size());
+            for (const corpus_entry& e : corpus) {
+                const int lambda = relaxed_lambda(e.lambda_min, slack);
+                const dpalloc_result heur = dpalloc(e.graph, model, lambda);
+                require_valid(e.graph, model, heur.path, lambda);
+                const two_stage_result base =
+                    two_stage_allocate(e.graph, model, lambda);
+                require_valid(e.graph, model, base.path, lambda);
+                penalties.push_back((base.path.total_area /
+                                         heur.path.total_area -
+                                     1.0) *
+                                    100.0);
+            }
+            row.push_back(table::num(mean(penalties), 1));
+        }
+        t.row(std::move(row));
+    }
+    bench::emit(t, opt);
+    std::cout << "\n(" << opt.graphs
+              << " graphs per point; paper reports the same series with "
+                 "200 graphs and 0..30% in 5% steps)\n";
+    return 0;
+}

@@ -1,0 +1,134 @@
+// google-benchmark micro-suite for the individual subsystems: WCG
+// construction, minimum scheduling set, the two schedulers, BindSelect,
+// the full DPAlloc loop, and one simplex solve. Sizes are parameterised so
+// the polynomial scaling of each stage is visible from the timings.
+
+#include "bind/bind_select.hpp"
+#include "core/dpalloc.hpp"
+#include "dfg/analysis.hpp"
+#include "ilp/formulation.hpp"
+#include "lp/simplex.hpp"
+#include "model/hardware_model.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/incomplete_scheduler.hpp"
+#include "sched/scheduling_set.hpp"
+#include "tgff/corpus.hpp"
+#include "wcg/wcg.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace mwl;
+
+sequencing_graph benchmark_graph(std::size_t n)
+{
+    rng random(0xBEEF + n);
+    tgff_options opts;
+    opts.n_ops = n;
+    return generate_tgff(opts, random);
+}
+
+void bm_wcg_construction(benchmark::State& state)
+{
+    const sequencing_graph g =
+        benchmark_graph(static_cast<std::size_t>(state.range(0)));
+    const sonic_model model;
+    for (auto _ : state) {
+        wordlength_compatibility_graph wcg(g, model);
+        benchmark::DoNotOptimize(wcg.edge_count());
+    }
+}
+BENCHMARK(bm_wcg_construction)->Arg(8)->Arg(16)->Arg(24);
+
+void bm_scheduling_set(benchmark::State& state)
+{
+    const sequencing_graph g =
+        benchmark_graph(static_cast<std::size_t>(state.range(0)));
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(min_scheduling_set(wcg).members.size());
+    }
+}
+BENCHMARK(bm_scheduling_set)->Arg(8)->Arg(16)->Arg(24);
+
+void bm_incomplete_schedule(benchmark::State& state)
+{
+    const sequencing_graph g =
+        benchmark_graph(static_cast<std::size_t>(state.range(0)));
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(schedule_incomplete(wcg).length);
+    }
+}
+BENCHMARK(bm_incomplete_schedule)->Arg(8)->Arg(16)->Arg(24);
+
+void bm_force_directed(benchmark::State& state)
+{
+    const sequencing_graph g =
+        benchmark_graph(static_cast<std::size_t>(state.range(0)));
+    const sonic_model model;
+    const std::vector<int> native = native_latencies(g, model);
+    const int horizon = critical_path_length(g, native) + 4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            force_directed_schedule(g, native, horizon).size());
+    }
+}
+BENCHMARK(bm_force_directed)->Arg(8)->Arg(16)->Arg(24);
+
+void bm_bind_select(benchmark::State& state)
+{
+    const sequencing_graph g =
+        benchmark_graph(static_cast<std::size_t>(state.range(0)));
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    const incomplete_schedule_result sched = schedule_incomplete(wcg);
+    const std::vector<int> upper = wcg.latency_upper_bounds();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bind_select(wcg, sched.start, upper).total_area);
+    }
+}
+BENCHMARK(bm_bind_select)->Arg(8)->Arg(16)->Arg(24);
+
+void bm_dpalloc_full(benchmark::State& state)
+{
+    const sequencing_graph g =
+        benchmark_graph(static_cast<std::size_t>(state.range(0)));
+    const sonic_model model;
+    const int lambda = relaxed_lambda(min_latency(g, model), 0.15);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dpalloc(g, model, lambda).path.total_area);
+    }
+}
+BENCHMARK(bm_dpalloc_full)->Arg(8)->Arg(16)->Arg(24);
+
+void bm_ilp_build(benchmark::State& state)
+{
+    const sequencing_graph g =
+        benchmark_graph(static_cast<std::size_t>(state.range(0)));
+    const sonic_model model;
+    const int lambda = min_latency(g, model);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            build_ilp(g, model, lambda).problem.n_vars());
+    }
+}
+BENCHMARK(bm_ilp_build)->Arg(4)->Arg(8);
+
+void bm_simplex_relaxation(benchmark::State& state)
+{
+    const sequencing_graph g =
+        benchmark_graph(static_cast<std::size_t>(state.range(0)));
+    const sonic_model model;
+    const ilp_model m = build_ilp(g, model, min_latency(g, model));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solve_lp(m.problem).objective);
+    }
+}
+BENCHMARK(bm_simplex_relaxation)->Arg(4)->Arg(6)->Arg(8);
+
+} // namespace

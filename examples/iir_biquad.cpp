@@ -1,0 +1,114 @@
+// Multiple-wordlength IIR biquad cascade.
+//
+// A second realistic workload: two cascaded direct-form-I biquad sections.
+// Feedback coefficients need more precision than feedforward ones, so the
+// five multipliers of each section carry different wordlengths -- exactly
+// the situation where a single uniform-wordlength multiplier bank wastes
+// area. The example sweeps the latency constraint and shows how DPAlloc's
+// resource set evolves from "everything parallel" to "a few big shared
+// resources".
+//
+// Build & run:  ./build/examples/iir_biquad
+
+#include "core/dpalloc.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// One direct-form-I biquad: y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2.
+/// `in` is the op producing this section's input (invalid for the first
+/// section); returns the op producing the section output.
+mwl::op_id add_biquad(mwl::sequencing_graph& g, mwl::op_id in,
+                      const std::string& prefix, int data_width,
+                      int ff_width, int fb_width)
+{
+    using namespace mwl;
+    // Five coefficient multipliers; feedback taps are wider.
+    const op_id b0 = g.add_operation(
+        op_shape::multiplier(data_width, ff_width), prefix + "b0");
+    const op_id b1 = g.add_operation(
+        op_shape::multiplier(data_width, ff_width), prefix + "b1");
+    const op_id b2 = g.add_operation(
+        op_shape::multiplier(data_width, ff_width - 2), prefix + "b2");
+    const op_id a1 = g.add_operation(
+        op_shape::multiplier(data_width, fb_width), prefix + "a1");
+    const op_id a2 = g.add_operation(
+        op_shape::multiplier(data_width, fb_width - 2), prefix + "a2");
+    if (in.is_valid()) {
+        // The section input feeds the feedforward multipliers.
+        g.add_dependency(in, b0);
+        g.add_dependency(in, b1);
+        g.add_dependency(in, b2);
+    }
+    // Accumulation tree.
+    const op_id s1 = g.add_operation(op_shape::adder(data_width + 2),
+                                     prefix + "s1");
+    const op_id s2 = g.add_operation(op_shape::adder(data_width + 2),
+                                     prefix + "s2");
+    const op_id s3 = g.add_operation(op_shape::adder(data_width + 3),
+                                     prefix + "s3");
+    const op_id s4 = g.add_operation(op_shape::adder(data_width + 3),
+                                     prefix + "s4");
+    g.add_dependency(b0, s1);
+    g.add_dependency(b1, s1);
+    g.add_dependency(b2, s2);
+    g.add_dependency(a1, s2);
+    g.add_dependency(s1, s3);
+    g.add_dependency(s2, s3);
+    g.add_dependency(a2, s4);
+    g.add_dependency(s3, s4);
+    return s4;
+}
+
+} // namespace
+
+int main()
+{
+    using namespace mwl;
+
+    sequencing_graph graph;
+    const op_id out1 =
+        add_biquad(graph, op_id::invalid(), "s1_", 12, 10, 14);
+    const op_id out2 = add_biquad(graph, out1, "s2_", 12, 8, 12);
+    static_cast<void>(out2);
+
+    const sonic_model model;
+    const int lambda_min = min_latency(graph, model);
+    std::cout << "2-section multiple-wordlength biquad cascade: "
+              << graph.size() << " operations, lambda_min = " << lambda_min
+              << " cycles\n\n";
+
+    table t("IIR cascade: DPAlloc area and resource mix vs lambda");
+    t.header({"lambda", "area", "#instances", "resource mix"});
+    for (int lambda = lambda_min; lambda <= lambda_min + 8; lambda += 2) {
+        const dpalloc_result r = dpalloc(graph, model, lambda);
+        require_valid(graph, model, r.path, lambda);
+        std::map<std::string, int> mix;
+        for (const datapath_instance& inst : r.path.instances) {
+            ++mix[inst.shape.to_string()];
+        }
+        std::string mix_text;
+        for (const auto& [shape, count] : mix) {
+            if (!mix_text.empty()) {
+                mix_text += ' ';
+            }
+            mix_text += std::to_string(count) + "x" + shape;
+        }
+        t.row({table::num(lambda), table::num(r.path.total_area, 0),
+               table::num(static_cast<int>(r.path.instances.size())),
+               mix_text});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nEvery row is validator-checked; larger lambda lets the\n"
+                 "allocator fold small multipliers into big ones.\n";
+    return 0;
+}

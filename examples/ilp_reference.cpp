@@ -1,0 +1,72 @@
+// Solving the combined problem exactly with the in-repo ILP (the optimal
+// reference of [5]) and measuring the heuristic's gap.
+//
+// Demonstrates the lower-level APIs: building the time-indexed model,
+// inspecting its size, solving it with the branch-and-bound MILP solver,
+// and decoding the solution back into a datapath. Also shows why the
+// paper needed a heuristic at all: the model's variable count -- and the
+// solve time -- grows with the latency constraint.
+//
+// Build & run:  ./build/examples/ilp_reference
+
+#include "core/dpalloc.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "ilp/formulation.hpp"
+#include "model/hardware_model.hpp"
+#include "report/table.hpp"
+#include "support/timer.hpp"
+#include "tgff/corpus.hpp"
+
+#include <iostream>
+
+int main()
+{
+    using namespace mwl;
+
+    const sonic_model model;
+    const auto corpus = make_corpus(/*n_ops=*/7, /*count=*/3, model,
+                                    /*base_seed=*/2001);
+
+    table t("ILP optimum vs DPAlloc (7-op random graphs)");
+    t.header({"graph", "lambda", "ILP vars", "ILP rows", "B&B nodes",
+              "optimal area", "DPAlloc area", "gap %", "ILP ms",
+              "heuristic ms"});
+
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const corpus_entry& e = corpus[i];
+        for (const double slack : {0.0, 0.2}) {
+            const int lambda = relaxed_lambda(e.lambda_min, slack);
+
+            stopwatch ilp_clock;
+            const ilp_result opt = solve_ilp(e.graph, model, lambda);
+            const double ilp_ms = ilp_clock.milliseconds();
+            if (opt.status != mip_status::optimal) {
+                continue;
+            }
+            require_valid(e.graph, model, opt.path, lambda);
+
+            stopwatch heur_clock;
+            const dpalloc_result heur = dpalloc(e.graph, model, lambda);
+            const double heur_ms = heur_clock.milliseconds();
+            require_valid(e.graph, model, heur.path, lambda);
+
+            const double gap =
+                (heur.path.total_area - opt.path.total_area) /
+                opt.path.total_area * 100.0;
+            t.row({table::num(static_cast<int>(i)), table::num(lambda),
+                   table::num(static_cast<int>(opt.n_variables)),
+                   table::num(static_cast<int>(opt.n_constraints)),
+                   table::num(static_cast<int>(opt.nodes)),
+                   table::num(opt.path.total_area, 0),
+                   table::num(heur.path.total_area, 0), table::num(gap, 1),
+                   table::num(ilp_ms, 1), table::num(heur_ms, 2)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe heuristic's area gap stays small while its runtime\n"
+                 "is orders of magnitude below the exact solver's -- the\n"
+                 "paper's Fig. 4/Fig. 5 story on a single page.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "baseline/descending.hpp"
+
+#include "baseline/grouping.hpp"
+#include "dfg/analysis.hpp"
+#include "sched/force_directed.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mwl {
+
+datapath descending_allocate(const sequencing_graph& graph,
+                             const hardware_model& model, int lambda)
+{
+    if (graph.empty()) {
+        return {};
+    }
+
+    const std::vector<int> native = native_latencies(graph, model);
+    const std::vector<int> start =
+        force_directed_schedule(graph, native, lambda);
+
+    std::vector<op_id> order = graph.all_ops();
+    std::sort(order.begin(), order.end(), [&](op_id a, op_id b) {
+        const double aa = model.area(graph.shape(a));
+        const double ab = model.area(graph.shape(b));
+        if (aa != ab) {
+            return aa > ab; // descending wordlength (area as proxy)
+        }
+        return a < b;
+    });
+
+    std::vector<std::vector<op_id>> groups;
+    for (const op_id o : order) {
+        bool placed = false;
+        for (std::vector<op_id>& group : groups) {
+            group.push_back(o);
+            if (latency_preserving_shape(graph, model, group, start,
+                                         native)) {
+                placed = true;
+                break;
+            }
+            group.pop_back();
+        }
+        if (!placed) {
+            groups.push_back({o});
+        }
+    }
+
+    return make_grouped_datapath(graph, model, groups, start);
+}
+
+} // namespace mwl

@@ -1,0 +1,25 @@
+// Greedy descending-wordlength clique partitioning in the style of [14]
+// (Kum & Sung): bind on a fixed wordlength-blind schedule by visiting
+// operations in descending wordlength order and placing each into the
+// first latency-preserving group that accepts it. The cheap-and-cheerful
+// end of the baseline spectrum; the two-stage baseline replaces this greedy
+// pass with optimal branch and bound.
+
+#ifndef MWL_BASELINE_DESCENDING_HPP
+#define MWL_BASELINE_DESCENDING_HPP
+
+#include "core/datapath.hpp"
+#include "dfg/sequencing_graph.hpp"
+#include "model/hardware_model.hpp"
+
+namespace mwl {
+
+/// Allocate a datapath with the greedy descending-wordlength baseline.
+/// Throws `infeasible_error` when lambda is below the minimum latency.
+[[nodiscard]] datapath descending_allocate(const sequencing_graph& graph,
+                                           const hardware_model& model,
+                                           int lambda);
+
+} // namespace mwl
+
+#endif // MWL_BASELINE_DESCENDING_HPP

@@ -1,0 +1,79 @@
+#include "baseline/grouping.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+
+std::optional<op_shape> latency_preserving_shape(
+    const sequencing_graph& graph, const hardware_model& model,
+    std::span<const op_id> ops, std::span<const int> start,
+    std::span<const int> native)
+{
+    MWL_ASSERT(!ops.empty());
+    const op_id first = ops.front();
+    const op_kind kind = graph.shape(first).kind();
+    const int latency = native[first.value()];
+
+    op_shape join = graph.shape(first);
+    for (const op_id o : ops) {
+        const op_shape& shape = graph.shape(o);
+        if (shape.kind() != kind || native[o.value()] != latency) {
+            return std::nullopt;
+        }
+        join = op_shape::join(join, shape);
+    }
+    if (model.latency(join) != latency) {
+        return std::nullopt; // sharing would slow some member down
+    }
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        for (std::size_t j = i + 1; j < ops.size(); ++j) {
+            const int si = start[ops[i].value()];
+            const int sj = start[ops[j].value()];
+            const bool disjoint =
+                si + latency <= sj || sj + latency <= si;
+            if (!disjoint) {
+                return std::nullopt;
+            }
+        }
+    }
+    return join;
+}
+
+datapath make_grouped_datapath(const sequencing_graph& graph,
+                               const hardware_model& model,
+                               std::span<const std::vector<op_id>> groups,
+                               std::span<const int> start)
+{
+    datapath path;
+    path.start.assign(start.begin(), start.end());
+    path.instance_of_op.assign(graph.size(), 0);
+    for (const std::vector<op_id>& group : groups) {
+        MWL_ASSERT(!group.empty());
+        op_shape join = graph.shape(group.front());
+        for (const op_id o : group) {
+            join = op_shape::join(join, graph.shape(o));
+        }
+        datapath_instance inst;
+        inst.shape = join;
+        inst.latency = model.latency(join);
+        inst.area = model.area(join);
+        inst.ops = group;
+        std::sort(inst.ops.begin(), inst.ops.end(), [&](op_id a, op_id b) {
+            return start[a.value()] < start[b.value()];
+        });
+        for (const op_id o : inst.ops) {
+            path.instance_of_op[o.value()] = path.instances.size();
+        }
+        path.total_area += inst.area;
+        path.instances.push_back(std::move(inst));
+    }
+    for (const op_id o : graph.all_ops()) {
+        path.latency = std::max(path.latency,
+                                path.start[o.value()] + path.bound_latency(o));
+    }
+    return path;
+}
+
+} // namespace mwl

@@ -1,0 +1,41 @@
+// Latency-preserving grouping rules shared by the two-stage baselines.
+//
+// Both baselines bind on a *fixed* schedule computed with native operation
+// latencies, so two operations may share one physical resource only if the
+// shared resource does not increase either operation's latency (the
+// characterisation this paper gives of [4]): the group's covering resource
+// (the join of its shapes) must have the same latency as every member's
+// native latency, and members must be pairwise non-overlapping in time.
+
+#ifndef MWL_BASELINE_GROUPING_HPP
+#define MWL_BASELINE_GROUPING_HPP
+
+#include "core/datapath.hpp"
+#include "dfg/sequencing_graph.hpp"
+#include "model/hardware_model.hpp"
+#include "support/ids.hpp"
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mwl {
+
+/// Shape of the cheapest resource for a latency-preserving group = join of
+/// member shapes. Returns nullopt if the ops cannot legally share:
+/// different kinds, unequal native latencies, join latency above the
+/// members' native latency, or time overlap under the fixed schedule.
+[[nodiscard]] std::optional<op_shape> latency_preserving_shape(
+    const sequencing_graph& graph, const hardware_model& model,
+    std::span<const op_id> ops, std::span<const int> start,
+    std::span<const int> native);
+
+/// Assemble a datapath from groups produced under the rule above.
+/// Each group becomes one instance with the join shape.
+[[nodiscard]] datapath make_grouped_datapath(
+    const sequencing_graph& graph, const hardware_model& model,
+    std::span<const std::vector<op_id>> groups, std::span<const int> start);
+
+} // namespace mwl
+
+#endif // MWL_BASELINE_GROUPING_HPP

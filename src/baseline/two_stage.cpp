@@ -1,0 +1,181 @@
+#include "baseline/two_stage.hpp"
+
+#include "baseline/grouping.hpp"
+#include "dfg/analysis.hpp"
+#include "sched/force_directed.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+namespace {
+
+struct bind_search {
+    const sequencing_graph* graph = nullptr;
+    const hardware_model* model = nullptr;
+    std::span<const int> start;
+    std::span<const int> native;
+    std::vector<op_id> order; ///< processing order (descending area)
+    std::vector<std::vector<op_id>> groups;
+    double cost = 0.0;
+    std::vector<std::vector<op_id>> best_groups;
+    double best_cost = 0.0;
+    std::size_t nodes = 0;
+    std::size_t node_cap = 0;
+    bool capped = false;
+
+    [[nodiscard]] double group_area(const std::vector<op_id>& group) const
+    {
+        op_shape join = graph->shape(group.front());
+        for (const op_id o : group) {
+            join = op_shape::join(join, graph->shape(o));
+        }
+        return model->area(join);
+    }
+
+    void recurse(std::size_t depth)
+    {
+        if (capped) {
+            return;
+        }
+        if (++nodes > node_cap) {
+            capped = true;
+            return;
+        }
+        if (cost >= best_cost) {
+            return; // cannot improve (group areas only grow)
+        }
+        if (depth == order.size()) {
+            best_cost = cost;
+            best_groups = groups;
+            return;
+        }
+        const op_id o = order[depth];
+
+        // Try joining each existing group. Index-based iteration: deeper
+        // recursion levels push/pop groups, which can reallocate the
+        // vector; the first n_groups entries themselves are stable.
+        const std::size_t n_groups = groups.size();
+        for (std::size_t gi = 0; gi < n_groups; ++gi) {
+            groups[gi].push_back(o);
+            if (latency_preserving_shape(*graph, *model, groups[gi], start,
+                                         native)) {
+                const double before = group_area_without_last(groups[gi]);
+                const double after = group_area(groups[gi]);
+                cost += after - before;
+                recurse(depth + 1);
+                cost -= after - before;
+            }
+            groups[gi].pop_back();
+            if (capped) {
+                return;
+            }
+        }
+
+        // Open a new group.
+        groups.push_back({o});
+        const double own = group_area(groups.back());
+        cost += own;
+        recurse(depth + 1);
+        cost -= own;
+        groups.pop_back();
+    }
+
+    [[nodiscard]] double group_area_without_last(
+        const std::vector<op_id>& group) const
+    {
+        MWL_ASSERT(group.size() >= 2);
+        op_shape join = graph->shape(group.front());
+        for (std::size_t i = 0; i + 1 < group.size(); ++i) {
+            join = op_shape::join(join, graph->shape(group[i]));
+        }
+        return model->area(join);
+    }
+};
+
+/// Greedy first-fit incumbent: descending area, first compatible group.
+std::vector<std::vector<op_id>> greedy_groups(
+    const sequencing_graph& graph, const hardware_model& model,
+    const std::vector<op_id>& order, std::span<const int> start,
+    std::span<const int> native)
+{
+    std::vector<std::vector<op_id>> groups;
+    for (const op_id o : order) {
+        bool placed = false;
+        for (std::vector<op_id>& group : groups) {
+            group.push_back(o);
+            if (latency_preserving_shape(graph, model, group, start,
+                                         native)) {
+                placed = true;
+                break;
+            }
+            group.pop_back();
+        }
+        if (!placed) {
+            groups.push_back({o});
+        }
+    }
+    return groups;
+}
+
+double groups_cost(const sequencing_graph& graph, const hardware_model& model,
+                   const std::vector<std::vector<op_id>>& groups)
+{
+    double total = 0.0;
+    for (const auto& group : groups) {
+        op_shape join = graph.shape(group.front());
+        for (const op_id o : group) {
+            join = op_shape::join(join, graph.shape(o));
+        }
+        total += model.area(join);
+    }
+    return total;
+}
+
+} // namespace
+
+two_stage_result two_stage_allocate(const sequencing_graph& graph,
+                                    const hardware_model& model, int lambda,
+                                    const two_stage_options& options)
+{
+    two_stage_result result;
+    if (graph.empty()) {
+        return result;
+    }
+
+    const std::vector<int> native = native_latencies(graph, model);
+    const std::vector<int> start =
+        force_directed_schedule(graph, native, lambda); // checks feasibility
+
+    // Stage 2: optimal latency-preserving partition. Processing order:
+    // descending own-area (big operations first anchor the groups), id
+    // tie-break for determinism.
+    std::vector<op_id> order = graph.all_ops();
+    std::sort(order.begin(), order.end(), [&](op_id a, op_id b) {
+        const double aa = model.area(graph.shape(a));
+        const double ab = model.area(graph.shape(b));
+        if (aa != ab) {
+            return aa > ab;
+        }
+        return a < b;
+    });
+
+    bind_search search;
+    search.graph = &graph;
+    search.model = &model;
+    search.start = start;
+    search.native = native;
+    search.order = order;
+    search.node_cap = options.node_cap;
+    search.best_groups = greedy_groups(graph, model, order, start, native);
+    search.best_cost = groups_cost(graph, model, search.best_groups) + 1e-9;
+    search.recurse(0);
+
+    result.proven_optimal_binding = !search.capped;
+    result.nodes = search.nodes;
+    result.path = make_grouped_datapath(graph, model, search.best_groups,
+                                        start);
+    return result;
+}
+
+} // namespace mwl

@@ -1,0 +1,46 @@
+// Two-stage baseline in the style of [4] (Constantinides, Cheung, Luk,
+// FPL 2000), as characterised by the DATE 2001 paper: "an optimal
+// branch-and-bound approach for resource binding and wordlength selection
+// ... a two-stage scheduling/binding approach based on sharing only
+// resources that can be grouped together without increasing the latency of
+// the operation."
+//
+// Stage 1: wordlength-blind, time-constrained force-directed scheduling
+//          with native operation latencies (sched/force_directed.hpp).
+// Stage 2: *optimal* branch-and-bound partition of the operations into
+//          latency-preserving groups (baseline/grouping.hpp) minimising
+//          total area; seeded with a greedy incumbent, with a node cap
+//          falling back to the incumbent (flagged in the result).
+
+#ifndef MWL_BASELINE_TWO_STAGE_HPP
+#define MWL_BASELINE_TWO_STAGE_HPP
+
+#include "core/datapath.hpp"
+#include "dfg/sequencing_graph.hpp"
+#include "model/hardware_model.hpp"
+
+#include <cstddef>
+
+namespace mwl {
+
+struct two_stage_options {
+    /// Branch-and-bound node cap for the binding stage.
+    std::size_t node_cap = 2000000;
+};
+
+struct two_stage_result {
+    datapath path;
+    /// False if the node cap stopped the search (result is the incumbent).
+    bool proven_optimal_binding = true;
+    std::size_t nodes = 0;
+};
+
+/// Allocate a datapath with the two-stage baseline. Throws
+/// `infeasible_error` when lambda is below the graph's minimum latency.
+[[nodiscard]] two_stage_result two_stage_allocate(
+    const sequencing_graph& graph, const hardware_model& model, int lambda,
+    const two_stage_options& options = {});
+
+} // namespace mwl
+
+#endif // MWL_BASELINE_TWO_STAGE_HPP

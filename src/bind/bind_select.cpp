@@ -1,0 +1,150 @@
+#include "bind/bind_select.hpp"
+
+#include "support/error.hpp"
+#include "wcg/chains.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+namespace {
+
+timed_op make_timed(op_id o, std::span<const int> start,
+                    std::span<const int> lat)
+{
+    return timed_op{o, start[o.value()], lat[o.value()]};
+}
+
+/// True iff `extra`'s members can be absorbed into `base` while keeping
+/// `resource` feasible for everyone (Eqn. 4) and the union a chain.
+bool can_absorb(const wordlength_compatibility_graph& wcg, res_id resource,
+                const std::vector<timed_op>& base,
+                const std::vector<op_id>& extra, std::span<const int> start,
+                std::span<const int> lat)
+{
+    std::vector<timed_op> merged = base;
+    for (const op_id o : extra) {
+        if (!wcg.compatible(o, resource)) {
+            return false;
+        }
+        merged.push_back(make_timed(o, start, lat));
+    }
+    return is_chain(merged);
+}
+
+} // namespace
+
+binding bind_select(const wordlength_compatibility_graph& wcg,
+                    std::span<const int> start_times,
+                    std::span<const int> latencies,
+                    const bind_options& options)
+{
+    const sequencing_graph& graph = wcg.graph();
+    const std::size_t n = graph.size();
+    require(start_times.size() == n && latencies.size() == n,
+            "schedule vectors must cover every operation");
+    for (std::size_t i = 0; i < n; ++i) {
+        require(start_times[i] >= 0, "operation is unscheduled");
+        require(latencies[i] >= 1, "operation latencies must be >= 1");
+    }
+
+    binding result;
+    std::vector<bool> covered(n, false);
+    std::size_t n_covered = 0;
+
+    while (n_covered < n) {
+        // Chvátal ratio selection over the implicit column set: for each
+        // resource type the best feasible column is a longest chain of
+        // uncovered compatible operations.
+        res_id best_r = res_id::invalid();
+        std::vector<timed_op> best_chain;
+        double best_ratio = -1.0;
+        for (const res_id r : wcg.all_resources()) {
+            std::vector<timed_op> candidates;
+            for (const op_id o : wcg.ops_for(r)) {
+                if (!covered[o.value()]) {
+                    candidates.push_back(
+                        make_timed(o, start_times, latencies));
+                }
+            }
+            if (candidates.empty()) {
+                continue;
+            }
+            std::vector<timed_op> chain = longest_chain(candidates);
+            const double ratio =
+                static_cast<double>(chain.size()) / wcg.area(r);
+            const bool better =
+                ratio > best_ratio ||
+                (ratio == best_ratio &&
+                 (chain.size() > best_chain.size() ||
+                  (chain.size() == best_chain.size() && r < best_r)));
+            if (better) {
+                best_ratio = ratio;
+                best_r = r;
+                best_chain = std::move(chain);
+            }
+        }
+        // Every uncovered operation keeps at least one H edge, so a
+        // candidate always exists.
+        MWL_ASSERT(best_r.is_valid() && !best_chain.empty());
+
+        for (const timed_op& item : best_chain) {
+            MWL_ASSERT(!covered[item.op.value()]);
+            covered[item.op.value()] = true;
+            ++n_covered;
+        }
+
+        if (options.enable_growth) {
+            // Greed compensation: try to grow the new clique (keeping its
+            // resource type, so total cost can only drop) to swallow
+            // previously selected cliques; absorbed cliques are deleted.
+            bool absorbed = true;
+            while (absorbed) {
+                absorbed = false;
+                for (std::size_t j = 0; j < result.cliques.size(); ++j) {
+                    const binding_clique& prev = result.cliques[j];
+                    if (!can_absorb(wcg, best_r, best_chain, prev.ops,
+                                    start_times, latencies)) {
+                        continue;
+                    }
+                    for (const op_id o : prev.ops) {
+                        best_chain.push_back(
+                            make_timed(o, start_times, latencies));
+                    }
+                    result.cliques.erase(result.cliques.begin() +
+                                         static_cast<std::ptrdiff_t>(j));
+                    absorbed = true;
+                    break;
+                }
+            }
+        }
+
+        std::sort(best_chain.begin(), best_chain.end(),
+                  [](const timed_op& a, const timed_op& b) {
+                      return a.start < b.start;
+                  });
+        binding_clique clique;
+        clique.resource = best_r;
+        clique.ops.reserve(best_chain.size());
+        for (const timed_op& item : best_chain) {
+            clique.ops.push_back(item.op);
+        }
+        result.cliques.push_back(std::move(clique));
+    }
+
+    if (options.reassign_cheapest) {
+        // Wordlength selection proper: each clique takes the cheapest
+        // resource type still satisfying Eqn. 4 (pure improvement).
+        for (binding_clique& k : result.cliques) {
+            const res_id cheapest = cheapest_common_resource(wcg, k.ops);
+            MWL_ASSERT(cheapest.is_valid()); // current resource qualifies
+            if (wcg.area(cheapest) < wcg.area(k.resource)) {
+                k.resource = cheapest;
+            }
+        }
+    }
+
+    finalize_binding(result, n, wcg);
+    return result;
+}
+
+} // namespace mwl

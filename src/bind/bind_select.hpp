@@ -1,0 +1,49 @@
+// Algorithm BindSelect (paper §2.3): combined resource binding and
+// wordlength selection on a scheduled wordlength compatibility graph.
+//
+// The problem is weighted unate covering over the implicit column set of
+// all feasible cliques (Eqn. 4/6); the algorithm is Chvátal's greedy ratio
+// heuristic made implicit: per candidate resource type the best column is
+// always a *maximum* clique of still-uncovered operations, and because the
+// schedule-induced orientation is transitive those are longest chains,
+// found in polynomial time. Two paper refinements are included:
+//  * restrict candidate cliques to maximum size per resource type (all
+//    cliques of a type cost the same, so only maximal ones can win);
+//  * a growth pass compensating for greed: after selecting a clique, try to
+//    grow it to swallow previously selected cliques, deleting them.
+
+#ifndef MWL_BIND_BIND_SELECT_HPP
+#define MWL_BIND_BIND_SELECT_HPP
+
+#include "bind/binding.hpp"
+#include "wcg/wcg.hpp"
+
+#include <span>
+
+namespace mwl {
+
+struct bind_options {
+    /// Enable the growth/absorption pass (paper default). Off for ablation.
+    bool enable_growth = true;
+    /// After covering, re-assign each clique the cheapest resource type
+    /// satisfying Eqn. 4 (pure improvement; wordlength selection proper).
+    bool reassign_cheapest = true;
+};
+
+/// Bind every operation of `wcg.graph()`.
+///
+/// `start_times` is the schedule; `latencies` must be the latency values
+/// the schedule was produced with (DPAlloc: the upper bounds L_o), since
+/// they define the orientation C: o1 -> o2 iff
+/// start(o1) + latency(o1) <= start(o2).
+///
+/// Every emitted clique satisfies Eqn. 4 under the current H edges, so the
+/// bound latency of each operation never exceeds its scheduled latency.
+[[nodiscard]] binding bind_select(const wordlength_compatibility_graph& wcg,
+                                  std::span<const int> start_times,
+                                  std::span<const int> latencies,
+                                  const bind_options& options = {});
+
+} // namespace mwl
+
+#endif // MWL_BIND_BIND_SELECT_HPP

@@ -1,0 +1,52 @@
+#include "bind/binding.hpp"
+
+#include "support/error.hpp"
+
+namespace mwl {
+
+void finalize_binding(binding& b, std::size_t n_ops,
+                      const wordlength_compatibility_graph& wcg)
+{
+    b.clique_of_op.assign(n_ops, clique_id::invalid());
+    b.total_area = 0.0;
+    for (std::size_t ci = 0; ci < b.cliques.size(); ++ci) {
+        const binding_clique& k = b.cliques[ci];
+        require(!k.ops.empty(), "binding clique must be non-empty");
+        b.total_area += wcg.area(k.resource);
+        for (const op_id o : k.ops) {
+            require(o.value() < n_ops, "clique member out of range");
+            require(!b.clique_of_op[o.value()].is_valid(),
+                    "operation bound to two cliques");
+            require(wcg.compatible(o, k.resource),
+                    "clique resource not compatible with member (Eqn. 4)");
+            b.clique_of_op[o.value()] = clique_id(ci);
+        }
+    }
+    for (std::size_t i = 0; i < n_ops; ++i) {
+        require(b.clique_of_op[i].is_valid(), "operation left unbound");
+    }
+}
+
+res_id cheapest_common_resource(const wordlength_compatibility_graph& wcg,
+                                std::span<const op_id> ops)
+{
+    res_id best = res_id::invalid();
+    for (const res_id r : wcg.all_resources()) {
+        bool covers_all = true;
+        for (const op_id o : ops) {
+            if (!wcg.compatible(o, r)) {
+                covers_all = false;
+                break;
+            }
+        }
+        if (!covers_all) {
+            continue;
+        }
+        if (!best.is_valid() || wcg.area(r) < wcg.area(best)) {
+            best = r;
+        }
+    }
+    return best;
+}
+
+} // namespace mwl

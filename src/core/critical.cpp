@@ -1,0 +1,136 @@
+#include "core/critical.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+namespace {
+
+/// The augmented graph is only needed transiently; we materialise it as
+/// adjacency lists over op indices (S edges plus S^b edges).
+struct augmented_graph {
+    std::vector<std::vector<std::size_t>> succs;
+    std::vector<std::vector<std::size_t>> preds;
+};
+
+augmented_graph build_augmented(const sequencing_graph& graph,
+                                const datapath& path)
+{
+    const std::size_t n = graph.size();
+    augmented_graph aug;
+    aug.succs.resize(n);
+    aug.preds.resize(n);
+    const auto add_edge = [&](std::size_t from, std::size_t to) {
+        auto& row = aug.succs[from];
+        if (std::find(row.begin(), row.end(), to) == row.end()) {
+            row.push_back(to);
+            aug.preds[to].push_back(from);
+        }
+    };
+    for (const op_id o : graph.all_ops()) {
+        for (const op_id s : graph.successors(o)) {
+            add_edge(o.value(), s.value());
+        }
+    }
+    // S^b: back-to-back pairs on the same instance.
+    for (const datapath_instance& inst : path.instances) {
+        for (const op_id o1 : inst.ops) {
+            for (const op_id o2 : inst.ops) {
+                if (o1 == o2) {
+                    continue;
+                }
+                if (path.start[o1.value()] + inst.latency ==
+                    path.start[o2.value()]) {
+                    add_edge(o1.value(), o2.value());
+                }
+            }
+        }
+    }
+    return aug;
+}
+
+std::vector<std::size_t> topo_order(const augmented_graph& aug)
+{
+    const std::size_t n = aug.succs.size();
+    std::vector<std::size_t> in_degree(n, 0);
+    for (std::size_t o = 0; o < n; ++o) {
+        in_degree[o] = aug.preds[o].size();
+    }
+    std::vector<std::size_t> ready;
+    for (std::size_t o = 0; o < n; ++o) {
+        if (in_degree[o] == 0) {
+            ready.push_back(o);
+        }
+    }
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const auto it = std::min_element(ready.begin(), ready.end());
+        const std::size_t o = *it;
+        ready.erase(it);
+        order.push_back(o);
+        for (const std::size_t s : aug.succs[o]) {
+            if (--in_degree[s] == 0) {
+                ready.push_back(s);
+            }
+        }
+    }
+    // S^b edges always point forward in time (start strictly increases
+    // along them), so the augmented graph is acyclic.
+    MWL_ASSERT(order.size() == n);
+    return order;
+}
+
+} // namespace
+
+bound_critical_path compute_bound_critical_path(const sequencing_graph& graph,
+                                                const datapath& path)
+{
+    const std::size_t n = graph.size();
+    require(path.start.size() == n && path.instance_of_op.size() == n,
+            "datapath does not match graph");
+
+    bound_critical_path result;
+    if (n == 0) {
+        return result;
+    }
+
+    const augmented_graph aug = build_augmented(graph, path);
+    const std::vector<std::size_t> order = topo_order(aug);
+
+    const auto latency = [&](std::size_t o) {
+        return path.bound_latency(op_id(o));
+    };
+
+    std::vector<int> asap(n, 0);
+    for (const std::size_t o : order) {
+        for (const std::size_t p : aug.preds[o]) {
+            asap[o] = std::max(asap[o], asap[p] + latency(p));
+        }
+    }
+    int length = 0;
+    for (std::size_t o = 0; o < n; ++o) {
+        length = std::max(length, asap[o] + latency(o));
+    }
+    result.augmented_length = length;
+
+    std::vector<int> alap(n, 0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const std::size_t o = *it;
+        alap[o] = length - latency(o);
+        for (const std::size_t s : aug.succs[o]) {
+            alap[o] = std::min(alap[o], alap[s] - latency(o));
+        }
+    }
+
+    for (std::size_t o = 0; o < n; ++o) {
+        MWL_ASSERT(asap[o] <= alap[o]);
+        if (asap[o] == alap[o]) {
+            result.ops.emplace_back(o);
+        }
+    }
+    return result;
+}
+
+} // namespace mwl

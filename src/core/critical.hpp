@@ -1,0 +1,37 @@
+// Bound critical path (paper §2.4).
+//
+// When a scheduled-and-bound solution violates the latency constraint, the
+// refinement step needs the subset of operations whose latency reduction
+// could shorten the design. The paper augments the sequencing graph's edge
+// set S with serialisation edges
+//
+//   S^b = { (o1, o2) : start(o1) + l(o1) == start(o2),
+//           o1 and o2 bound to the same resource instance }
+//
+// (l = bound latency) and defines the *bound critical path* Q^b as the
+// operations whose ASAP and ALAP times coincide with respect to the
+// augmented graph, with the augmented critical-path length as the ALAP
+// horizon.
+
+#ifndef MWL_CORE_CRITICAL_HPP
+#define MWL_CORE_CRITICAL_HPP
+
+#include "core/datapath.hpp"
+#include "dfg/sequencing_graph.hpp"
+
+#include <vector>
+
+namespace mwl {
+
+struct bound_critical_path {
+    std::vector<op_id> ops;      ///< members of Q^b, ascending id
+    int augmented_length = 0;    ///< critical-path length of the augmented graph
+};
+
+/// Compute Q^b for a (possibly constraint-violating) allocation.
+[[nodiscard]] bound_critical_path compute_bound_critical_path(
+    const sequencing_graph& graph, const datapath& path);
+
+} // namespace mwl
+
+#endif // MWL_CORE_CRITICAL_HPP

@@ -1,0 +1,33 @@
+#include "core/datapath.hpp"
+
+#include <sstream>
+
+namespace mwl {
+
+std::string describe(const datapath& path, const sequencing_graph& graph)
+{
+    std::ostringstream out;
+    out << "datapath: area " << path.total_area << ", latency "
+        << path.latency << " cycles, " << path.instances.size()
+        << " resource(s)\n";
+    for (std::size_t i = 0; i < path.instances.size(); ++i) {
+        const datapath_instance& inst = path.instances[i];
+        out << "  [" << i << "] " << inst.shape.to_string() << " (area "
+            << inst.area << ", latency " << inst.latency << "):";
+        for (const op_id o : inst.ops) {
+            const operation& op = graph.op(o);
+            out << ' ';
+            if (!op.name.empty()) {
+                out << op.name;
+            } else {
+                out << 'o' << o.value();
+            }
+            const int s = path.start[o.value()];
+            out << "@[" << s << ',' << s + inst.latency << ')';
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace mwl

@@ -1,0 +1,55 @@
+// The product of datapath allocation: a self-contained description of the
+// scheduled, bound, wordlength-selected design -- what Fig. 1(b) of the
+// paper depicts. Self-contained means it survives the internal wordlength
+// compatibility graph it was derived from: resource types are stored as
+// shapes with resolved latency/area.
+
+#ifndef MWL_CORE_DATAPATH_HPP
+#define MWL_CORE_DATAPATH_HPP
+
+#include "dfg/sequencing_graph.hpp"
+#include "model/op_shape.hpp"
+#include "support/ids.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mwl {
+
+/// One physical resource instance of the allocated datapath.
+struct datapath_instance {
+    op_shape shape;         ///< resource-wordlength type
+    int latency = 1;        ///< cycles per execution on this instance
+    double area = 0.0;      ///< model area units
+    std::vector<op_id> ops; ///< operations it executes, in time order
+};
+
+/// A complete allocation result.
+struct datapath {
+    std::vector<int> start;                   ///< start step, per op id
+    std::vector<std::size_t> instance_of_op;  ///< instance index, per op id
+    std::vector<datapath_instance> instances; ///< physical resources
+    double total_area = 0.0;                  ///< sum of instance areas
+    int latency = 0; ///< achieved makespan (bound latencies)
+
+    /// Latency actually incurred by operation o (its instance's latency).
+    [[nodiscard]] int bound_latency(op_id o) const
+    {
+        return instances[instance_of_op[o.value()]].latency;
+    }
+
+    /// Wordlength the operation was selected to execute at.
+    [[nodiscard]] const op_shape& selected_shape(op_id o) const
+    {
+        return instances[instance_of_op[o.value()]].shape;
+    }
+};
+
+/// Multi-line human-readable rendering (one line per instance with its
+/// operations and time intervals), used by the examples.
+[[nodiscard]] std::string describe(const datapath& path,
+                                   const sequencing_graph& graph);
+
+} // namespace mwl
+
+#endif // MWL_CORE_DATAPATH_HPP

@@ -1,0 +1,70 @@
+// Algorithm DPAlloc (paper §2): combined scheduling, resource binding and
+// wordlength selection by iterative refinement of wordlength information.
+//
+// Loop (paper pseudo-code):
+//   1. compute the scheduling set covering every operation (§2.2),
+//   2. derive latency upper bounds L_o from the current H edges,
+//   3. list-schedule under the incomplete-wordlength constraint (Eqn. 3'),
+//   4. run BindSelect (§2.3); bound latencies never exceed the scheduled
+//      upper bounds, so the binding cannot invalidate the schedule,
+//   5. if the bound design violates the latency constraint, refine the
+//      wordlength information of one operation on the bound critical path
+//      (§2.4) and repeat; otherwise record the feasible solution.
+//
+// Extensions beyond the paper's text (all documented in DESIGN.md):
+//   * capacity escalation when refinement is exhausted (the paper is silent
+//     on parallelism-starved instances; without this the loop cannot
+//     terminate on them),
+//   * options to disable individual ingredients for the ablation benches.
+
+#ifndef MWL_CORE_DPALLOC_HPP
+#define MWL_CORE_DPALLOC_HPP
+
+#include "core/datapath.hpp"
+#include "dfg/sequencing_graph.hpp"
+#include "model/hardware_model.hpp"
+
+#include <cstddef>
+
+namespace mwl {
+
+struct dpalloc_options {
+    /// BindSelect growth pass (paper default on; off for ablation).
+    bool enable_growth = true;
+    /// Cheapest-resource reassignment after covering (wordlength selection).
+    bool reassign_cheapest = true;
+    /// Ablation: use the classic per-type constraint (Eqn. 2) instead of
+    /// the paper's incomplete-wordlength constraint (Eqn. 3').
+    bool classic_constraint = false;
+    /// Initial instances per scheduling-set member (paper: 1).
+    int initial_capacity = 1;
+    /// Safety bound on refinement iterations; never reached in practice
+    /// (each iteration deletes an H edge or raises capacity).
+    std::size_t max_iterations = 1000000;
+};
+
+struct dpalloc_stats {
+    std::size_t iterations = 0;    ///< schedule/bind rounds executed
+    std::size_t refinements = 0;   ///< wordlength refinement steps
+    std::size_t edges_deleted = 0; ///< H edges removed by refinement
+    int final_capacity = 1;        ///< 1 unless escalation was needed
+    std::size_t escalations = 0;   ///< capacity increments (0 = pure paper)
+    bool cover_always_minimum = true;
+};
+
+struct dpalloc_result {
+    datapath path;
+    dpalloc_stats stats;
+};
+
+/// Allocate a datapath for `graph` under latency constraint `lambda`
+/// (control steps). Throws `infeasible_error` when lambda is below the
+/// graph's minimum latency, `precondition_error` on malformed input.
+/// The result is always feasible and validator-clean.
+[[nodiscard]] dpalloc_result dpalloc(const sequencing_graph& graph,
+                                     const hardware_model& model, int lambda,
+                                     const dpalloc_options& options = {});
+
+} // namespace mwl
+
+#endif // MWL_CORE_DPALLOC_HPP

@@ -1,0 +1,55 @@
+#include "core/pareto.hpp"
+
+#include "dfg/analysis.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mwl {
+
+std::vector<pareto_point> pareto_sweep(const sequencing_graph& graph,
+                                       const hardware_model& model,
+                                       const pareto_options& options)
+{
+    require(options.max_slack >= 0.0, "max_slack must be non-negative");
+    require(options.patience >= 1, "patience must be >= 1");
+    if (graph.empty()) {
+        return {};
+    }
+
+    const int lambda_min = min_latency(graph, model);
+    const int lambda_max = static_cast<int>(std::ceil(
+        static_cast<double>(lambda_min) * (1.0 + options.max_slack)));
+
+    std::vector<pareto_point> frontier;
+    double best_area = std::numeric_limits<double>::infinity();
+    int stale = 0;
+    for (int lambda = lambda_min; lambda <= lambda_max; ++lambda) {
+        dpalloc_result r = dpalloc(graph, model, lambda, options.allocator);
+        if (r.path.total_area < best_area - 1e-9) {
+            pareto_point point;
+            point.lambda = lambda;
+            point.latency = r.path.latency;
+            point.area = r.path.total_area;
+            point.path = std::move(r.path);
+            // Dominance also covers achieved latency: a new point with the
+            // same achieved latency but lower area replaces its
+            // predecessor.
+            while (!frontier.empty() &&
+                   frontier.back().latency >= point.latency) {
+                frontier.pop_back();
+            }
+            frontier.push_back(std::move(point));
+            best_area = frontier.back().area;
+            stale = 0;
+        } else if (++stale >= options.patience) {
+            break;
+        }
+    }
+    MWL_ASSERT(!frontier.empty());
+    return frontier;
+}
+
+} // namespace mwl

@@ -1,0 +1,43 @@
+// Area/latency design-space exploration.
+//
+// The latency constraint is the designer's knob: sweeping lambda from
+// lambda_min upward and keeping the non-dominated (latency, area) points
+// yields the trade-off curve a designer actually chooses from (the
+// examples print fragments of it by hand). The sweep stops early once the
+// area reaches the unconstrained lower bound for the allocator -- the
+// point past which more slack cannot help.
+
+#ifndef MWL_CORE_PARETO_HPP
+#define MWL_CORE_PARETO_HPP
+
+#include "core/dpalloc.hpp"
+
+#include <vector>
+
+namespace mwl {
+
+struct pareto_point {
+    int lambda = 0;      ///< constraint that produced the design
+    int latency = 0;     ///< achieved latency (<= lambda)
+    double area = 0.0;
+    datapath path;
+};
+
+struct pareto_options {
+    /// Sweep upper bound as a multiple of lambda_min (inclusive).
+    double max_slack = 1.0;
+    /// Stop early after this many consecutive non-improving lambdas.
+    int patience = 8;
+    dpalloc_options allocator;
+};
+
+/// Non-dominated (latency, area) allocations for lambda in
+/// [lambda_min, ceil(lambda_min * (1 + max_slack))], ascending latency,
+/// strictly descending area. Never empty for a non-empty graph.
+[[nodiscard]] std::vector<pareto_point> pareto_sweep(
+    const sequencing_graph& graph, const hardware_model& model,
+    const pareto_options& options = {});
+
+} // namespace mwl
+
+#endif // MWL_CORE_PARETO_HPP

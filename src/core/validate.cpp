@@ -1,0 +1,151 @@
+#include "core/validate.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mwl {
+namespace {
+
+template <typename... Parts>
+void report(std::vector<std::string>& out, const Parts&... parts)
+{
+    std::ostringstream os;
+    (os << ... << parts);
+    out.push_back(os.str());
+}
+
+} // namespace
+
+std::vector<std::string> validate_datapath(const sequencing_graph& graph,
+                                           const hardware_model& model,
+                                           const datapath& path, int lambda)
+{
+    std::vector<std::string> bad;
+    const std::size_t n = graph.size();
+
+    if (path.start.size() != n || path.instance_of_op.size() != n) {
+        report(bad, "vector sizes do not match the graph (", n, " ops)");
+        return bad; // everything else would index out of range
+    }
+
+    // Instance-level checks: model consistency and membership.
+    std::vector<std::size_t> seen(n, 0);
+    double area_sum = 0.0;
+    for (std::size_t i = 0; i < path.instances.size(); ++i) {
+        const datapath_instance& inst = path.instances[i];
+        if (inst.ops.empty()) {
+            report(bad, "instance ", i, " executes no operation");
+        }
+        if (inst.latency != model.latency(inst.shape)) {
+            report(bad, "instance ", i, " latency ", inst.latency,
+                   " != model latency ", model.latency(inst.shape));
+        }
+        if (inst.area != model.area(inst.shape)) {
+            report(bad, "instance ", i, " area ", inst.area,
+                   " != model area ", model.area(inst.shape));
+        }
+        area_sum += inst.area;
+        for (const op_id o : inst.ops) {
+            if (o.value() >= n) {
+                report(bad, "instance ", i, " lists unknown op ", o.value());
+                continue;
+            }
+            ++seen[o.value()];
+            if (path.instance_of_op[o.value()] != i) {
+                report(bad, "op ", o.value(),
+                       " membership disagrees with instance_of_op");
+            }
+            if (!inst.shape.covers(graph.shape(o))) {
+                report(bad, "instance ", i, " (", inst.shape.to_string(),
+                       ") cannot execute op ", o.value(), " (",
+                       graph.shape(o).to_string(), ")");
+            }
+        }
+    }
+    for (std::size_t o = 0; o < n; ++o) {
+        if (seen[o] != 1) {
+            report(bad, "op ", o, " appears in ", seen[o],
+                   " instances (expected exactly 1)");
+        }
+        if (path.instance_of_op[o] >= path.instances.size()) {
+            report(bad, "op ", o, " bound to unknown instance");
+        }
+        if (path.start[o] < 0) {
+            report(bad, "op ", o, " is unscheduled");
+        }
+    }
+    if (!bad.empty()) {
+        return bad; // timing checks below assume structural sanity
+    }
+
+    // Data dependencies: a predecessor completes (at its *bound* latency)
+    // no later than the successor starts.
+    for (const op_id o : graph.all_ops()) {
+        for (const op_id s : graph.successors(o)) {
+            const int finish = path.start[o.value()] + path.bound_latency(o);
+            if (finish > path.start[s.value()]) {
+                report(bad, "dependency violated: op ", o.value(),
+                       " finishes at ", finish, " but op ", s.value(),
+                       " starts at ", path.start[s.value()]);
+            }
+        }
+    }
+
+    // Exclusivity: operations sharing an instance must not overlap.
+    for (std::size_t i = 0; i < path.instances.size(); ++i) {
+        const datapath_instance& inst = path.instances[i];
+        for (std::size_t a = 0; a < inst.ops.size(); ++a) {
+            for (std::size_t b = a + 1; b < inst.ops.size(); ++b) {
+                const int sa = path.start[inst.ops[a].value()];
+                const int sb = path.start[inst.ops[b].value()];
+                const bool disjoint =
+                    sa + inst.latency <= sb || sb + inst.latency <= sa;
+                if (!disjoint) {
+                    report(bad, "instance ", i, ": ops ",
+                           inst.ops[a].value(), " and ", inst.ops[b].value(),
+                           " overlap in time");
+                }
+            }
+        }
+    }
+
+    // Aggregates.
+    int makespan = 0;
+    for (const op_id o : graph.all_ops()) {
+        makespan =
+            std::max(makespan, path.start[o.value()] + path.bound_latency(o));
+    }
+    if (makespan != path.latency) {
+        report(bad, "recorded latency ", path.latency, " != recomputed ",
+               makespan);
+    }
+    if (std::abs(area_sum - path.total_area) > 1e-9) {
+        report(bad, "recorded area ", path.total_area, " != recomputed ",
+               area_sum);
+    }
+    if (lambda >= 0 && makespan > lambda) {
+        report(bad, "latency constraint violated: ", makespan, " > ", lambda);
+    }
+    return bad;
+}
+
+void require_valid(const sequencing_graph& graph, const hardware_model& model,
+                   const datapath& path, int lambda)
+{
+    const std::vector<std::string> bad =
+        validate_datapath(graph, model, path, lambda);
+    if (bad.empty()) {
+        return;
+    }
+    std::ostringstream os;
+    os << "invalid datapath (" << bad.size() << " violations):";
+    for (const std::string& line : bad) {
+        os << "\n  - " << line;
+    }
+    throw error(os.str());
+}
+
+} // namespace mwl

@@ -1,0 +1,33 @@
+// Independent datapath validator.
+//
+// Every algorithm in this repository (DPAlloc, the baselines, the ILP
+// decoder) produces a `datapath`; this validator re-derives every claimed
+// property from first principles -- data dependencies, per-instance
+// exclusivity, wordlength coverage, model-consistent latency/area, and the
+// latency constraint -- so the test-suite never has to trust the algorithm
+// under test.
+
+#ifndef MWL_CORE_VALIDATE_HPP
+#define MWL_CORE_VALIDATE_HPP
+
+#include "core/datapath.hpp"
+#include "model/hardware_model.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mwl {
+
+/// All rule violations found (empty == valid). `lambda` is the user latency
+/// constraint; pass a negative value to skip the constraint check.
+[[nodiscard]] std::vector<std::string> validate_datapath(
+    const sequencing_graph& graph, const hardware_model& model,
+    const datapath& path, int lambda);
+
+/// Throws `mwl::error` listing every violation if the datapath is invalid.
+void require_valid(const sequencing_graph& graph, const hardware_model& model,
+                   const datapath& path, int lambda);
+
+} // namespace mwl
+
+#endif // MWL_CORE_VALIDATE_HPP

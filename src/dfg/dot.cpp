@@ -1,0 +1,30 @@
+#include "dfg/dot.hpp"
+
+#include <sstream>
+
+namespace mwl {
+
+std::string to_dot(const sequencing_graph& graph)
+{
+    std::ostringstream out;
+    out << "digraph sequencing {\n";
+    out << "  rankdir=TB;\n";
+    out << "  node [shape=ellipse, fontname=\"Helvetica\"];\n";
+    for (const op_id o : graph.all_ops()) {
+        const operation& op = graph.op(o);
+        out << "  n" << o.value() << " [label=\"";
+        if (!op.name.empty()) {
+            out << op.name << "\\n";
+        }
+        out << op.shape.to_string() << "\"];\n";
+    }
+    for (const op_id o : graph.all_ops()) {
+        for (const op_id s : graph.successors(o)) {
+            out << "  n" << o.value() << " -> n" << s.value() << ";\n";
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace mwl

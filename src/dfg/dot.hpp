@@ -1,0 +1,19 @@
+// Graphviz DOT export of sequencing graphs, for documentation and for
+// eyeballing generated workloads.
+
+#ifndef MWL_DFG_DOT_HPP
+#define MWL_DFG_DOT_HPP
+
+#include "dfg/sequencing_graph.hpp"
+
+#include <string>
+
+namespace mwl {
+
+/// Render `graph` in Graphviz DOT syntax. Node labels show the operation
+/// name (if any) and its shape, e.g. "x1\nmul16x12".
+[[nodiscard]] std::string to_dot(const sequencing_graph& graph);
+
+} // namespace mwl
+
+#endif // MWL_DFG_DOT_HPP

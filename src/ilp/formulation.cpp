@@ -1,0 +1,250 @@
+#include "ilp/formulation.hpp"
+
+#include "dfg/analysis.hpp"
+#include "support/error.hpp"
+#include "wcg/resource_set.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace mwl {
+namespace {
+
+/// Per-operation minimum latency over compatible resources: the window
+/// computation must stay valid for any (even non-monotone) model.
+std::vector<int> min_latencies(const sequencing_graph& graph,
+                               const std::vector<op_shape>& resources,
+                               const hardware_model& model)
+{
+    std::vector<int> lat(graph.size(), 0);
+    for (const op_id o : graph.all_ops()) {
+        int best = 0;
+        for (const op_shape& r : resources) {
+            if (!r.covers(graph.shape(o))) {
+                continue;
+            }
+            const int l = model.latency(r);
+            best = best == 0 ? l : std::min(best, l);
+        }
+        MWL_ASSERT(best >= 1); // o's own shape is in the closure
+        lat[o.value()] = best;
+    }
+    return lat;
+}
+
+} // namespace
+
+ilp_model build_ilp(const sequencing_graph& graph,
+                    const hardware_model& model, int lambda)
+{
+    require(lambda >= 0, "latency constraint must be non-negative");
+
+    ilp_model m;
+    m.resources = extract_resource_types(graph);
+    if (graph.empty()) {
+        return m;
+    }
+
+    const std::vector<int> lat_min = min_latencies(graph, m.resources, model);
+    require_feasible(critical_path_length(graph, lat_min) <= lambda,
+                     "latency constraint below the minimum achievable "
+                     "latency of the sequencing graph");
+    const std::vector<int> asap = asap_start_times(graph, lat_min);
+    const std::vector<int> alap = alap_start_times(graph, lat_min, lambda);
+
+    // n[r] count variables.
+    m.count_var.resize(m.resources.size());
+    for (std::size_t ri = 0; ri < m.resources.size(); ++ri) {
+        // Never more instances than compatible operations.
+        double max_count = 0.0;
+        for (const op_id o : graph.all_ops()) {
+            if (m.resources[ri].covers(graph.shape(o))) {
+                max_count += 1.0;
+            }
+        }
+        m.count_var[ri] = m.problem.add_variable(
+            model.area(m.resources[ri]), 0.0, max_count, var_kind::integer,
+            "n_" + m.resources[ri].to_string());
+    }
+
+    // x[o,r,t] start variables.
+    for (const op_id o : graph.all_ops()) {
+        for (std::size_t ri = 0; ri < m.resources.size(); ++ri) {
+            const op_shape& r = m.resources[ri];
+            if (!r.covers(graph.shape(o))) {
+                continue;
+            }
+            const int lr = model.latency(r);
+            const int t_hi = std::min(alap[o.value()], lambda - lr);
+            for (int t = asap[o.value()]; t <= t_hi; ++t) {
+                const std::size_t var = m.problem.add_binary(
+                    0.0, "x_o" + std::to_string(o.value()) + "_" +
+                             r.to_string() + "_t" + std::to_string(t));
+                m.x_vars.push_back(
+                    ilp_model::start_var{o, ri, t, var});
+            }
+        }
+    }
+
+    // Assignment rows.
+    {
+        std::vector<lp_row> rows(graph.size());
+        for (lp_row& row : rows) {
+            row.sense = row_sense::eq;
+            row.rhs = 1.0;
+        }
+        for (const auto& xv : m.x_vars) {
+            rows[xv.o.value()].terms.emplace_back(xv.var, 1.0);
+        }
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            require_feasible(!rows[i].terms.empty(),
+                             "operation has no feasible start under lambda");
+            m.problem.add_row(std::move(rows[i]));
+        }
+    }
+
+    // Precedence rows: finish(o1) - start(o2) <= 0.
+    for (const op_id o1 : graph.all_ops()) {
+        for (const op_id o2 : graph.successors(o1)) {
+            lp_row row;
+            row.sense = row_sense::le;
+            row.rhs = 0.0;
+            for (const auto& xv : m.x_vars) {
+                if (xv.o == o1) {
+                    const int lr = model.latency(m.resources[xv.resource_index]);
+                    row.terms.emplace_back(
+                        xv.var, static_cast<double>(xv.t + lr));
+                } else if (xv.o == o2) {
+                    row.terms.emplace_back(xv.var,
+                                           -static_cast<double>(xv.t));
+                }
+            }
+            m.problem.add_row(std::move(row));
+        }
+    }
+
+    // Usage rows: running type-r operations at step t never exceed n[r].
+    for (std::size_t ri = 0; ri < m.resources.size(); ++ri) {
+        const int lr = model.latency(m.resources[ri]);
+        for (int t = 0; t < lambda; ++t) {
+            lp_row row;
+            row.sense = row_sense::le;
+            row.rhs = 0.0;
+            for (const auto& xv : m.x_vars) {
+                if (xv.resource_index == ri && xv.t > t - lr && xv.t <= t) {
+                    row.terms.emplace_back(xv.var, 1.0);
+                }
+            }
+            if (row.terms.empty()) {
+                continue;
+            }
+            row.terms.emplace_back(m.count_var[ri], -1.0);
+            m.problem.add_row(std::move(row));
+        }
+    }
+
+    return m;
+}
+
+ilp_result solve_ilp(const sequencing_graph& graph,
+                     const hardware_model& model, int lambda,
+                     const mip_options& options)
+{
+    ilp_result result;
+    if (graph.empty()) {
+        result.status = mip_status::optimal;
+        return result;
+    }
+
+    const ilp_model m = build_ilp(graph, model, lambda);
+    result.n_variables = m.problem.n_vars();
+    result.n_constraints = m.problem.n_rows();
+
+    const mip_solution sol = solve_mip(m.problem, options);
+    result.status = sol.status;
+    result.nodes = sol.nodes;
+    result.lp_iterations = sol.lp_iterations;
+    if (sol.status != mip_status::optimal &&
+        sol.status != mip_status::limit_feasible) {
+        return result;
+    }
+
+    // Decode: chosen (resource type, start) per operation.
+    struct choice {
+        std::size_t resource_index = 0;
+        int start = -1;
+    };
+    std::vector<choice> chosen(graph.size());
+    for (const auto& xv : m.x_vars) {
+        if (sol.x[xv.var] > 0.5) {
+            MWL_ASSERT(chosen[xv.o.value()].start < 0); // assignment row
+            chosen[xv.o.value()] = choice{xv.resource_index, xv.t};
+        }
+    }
+
+    // First-fit interval colouring per resource type: ops sorted by start,
+    // reuse the instance that frees up earliest.
+    datapath& path = result.path;
+    path.start.resize(graph.size());
+    path.instance_of_op.resize(graph.size());
+    for (const op_id o : graph.all_ops()) {
+        MWL_ASSERT(chosen[o.value()].start >= 0);
+        path.start[o.value()] = chosen[o.value()].start;
+    }
+    for (std::size_t ri = 0; ri < m.resources.size(); ++ri) {
+        std::vector<op_id> ops;
+        for (const op_id o : graph.all_ops()) {
+            if (chosen[o.value()].resource_index == ri) {
+                ops.push_back(o);
+            }
+        }
+        if (ops.empty()) {
+            continue;
+        }
+        std::sort(ops.begin(), ops.end(), [&](op_id a, op_id b) {
+            if (path.start[a.value()] != path.start[b.value()]) {
+                return path.start[a.value()] < path.start[b.value()];
+            }
+            return a < b;
+        });
+        const int lr = model.latency(m.resources[ri]);
+        std::vector<std::size_t> open_instances; // indices into path.instances
+        std::vector<int> free_at;                // matching free times
+        for (const op_id o : ops) {
+            const int s = path.start[o.value()];
+            std::size_t slot = open_instances.size();
+            for (std::size_t k = 0; k < open_instances.size(); ++k) {
+                if (free_at[k] <= s &&
+                    (slot == open_instances.size() ||
+                     free_at[k] < free_at[slot])) {
+                    slot = k;
+                }
+            }
+            if (slot == open_instances.size()) {
+                datapath_instance inst;
+                inst.shape = m.resources[ri];
+                inst.latency = lr;
+                inst.area = model.area(m.resources[ri]);
+                path.instances.push_back(std::move(inst));
+                open_instances.push_back(path.instances.size() - 1);
+                free_at.push_back(0);
+                slot = open_instances.size() - 1;
+            }
+            const std::size_t inst_index = open_instances[slot];
+            path.instances[inst_index].ops.push_back(o);
+            path.instance_of_op[o.value()] = inst_index;
+            free_at[slot] = s + lr;
+        }
+    }
+
+    for (const datapath_instance& inst : path.instances) {
+        path.total_area += inst.area;
+    }
+    for (const op_id o : graph.all_ops()) {
+        path.latency = std::max(path.latency,
+                                path.start[o.value()] + path.bound_latency(o));
+    }
+    return result;
+}
+
+} // namespace mwl

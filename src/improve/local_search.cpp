@@ -1,0 +1,194 @@
+#include "improve/local_search.hpp"
+
+#include "core/validate.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+namespace {
+
+/// Recompute instance latency/area from shapes and the path aggregates.
+void refresh(const sequencing_graph& graph, const hardware_model& model,
+             datapath& path)
+{
+    path.total_area = 0.0;
+    for (datapath_instance& inst : path.instances) {
+        inst.latency = model.latency(inst.shape);
+        inst.area = model.area(inst.shape);
+        path.total_area += inst.area;
+        std::sort(inst.ops.begin(), inst.ops.end(), [&](op_id a, op_id b) {
+            return path.start[a.value()] < path.start[b.value()];
+        });
+    }
+    path.latency = 0;
+    for (const op_id o : graph.all_ops()) {
+        path.latency = std::max(path.latency,
+                                path.start[o.value()] + path.bound_latency(o));
+    }
+}
+
+[[nodiscard]] bool is_valid(const sequencing_graph& graph,
+                            const hardware_model& model,
+                            const datapath& path, int lambda)
+{
+    return validate_datapath(graph, model, path, lambda).empty();
+}
+
+/// Downsize every instance to the join of its members' shapes; returns
+/// true if any instance changed and the result stayed valid.
+bool downsize_pass(const sequencing_graph& graph, const hardware_model& model,
+                   datapath& path, int lambda)
+{
+    bool changed = false;
+    for (std::size_t i = 0; i < path.instances.size(); ++i) {
+        datapath_instance& inst = path.instances[i];
+        MWL_ASSERT(!inst.ops.empty());
+        op_shape join = graph.shape(inst.ops.front());
+        for (const op_id o : inst.ops) {
+            join = op_shape::join(join, graph.shape(o));
+        }
+        if (join == inst.shape) {
+            continue;
+        }
+        datapath candidate = path;
+        candidate.instances[i].shape = join;
+        refresh(graph, model, candidate);
+        if (candidate.total_area < path.total_area - 1e-9 &&
+            is_valid(graph, model, candidate, lambda)) {
+            path = std::move(candidate);
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/// Try to move one operation to another instance (strict area win only:
+/// the win comes from the donor emptying or downsizing). Returns true on
+/// the first accepted move.
+bool rebind_pass(const sequencing_graph& graph, const hardware_model& model,
+                 datapath& path, int lambda)
+{
+    for (const op_id o : graph.all_ops()) {
+        const std::size_t from = path.instance_of_op[o.value()];
+        for (std::size_t to = 0; to < path.instances.size(); ++to) {
+            if (to == from ||
+                !path.instances[to].shape.covers(graph.shape(o))) {
+                continue;
+            }
+            datapath candidate = path;
+            auto& donor = candidate.instances[from].ops;
+            donor.erase(std::find(donor.begin(), donor.end(), o));
+            candidate.instances[to].ops.push_back(o);
+            candidate.instance_of_op[o.value()] = to;
+
+            if (donor.empty()) {
+                // Delete the emptied instance, remapping indices.
+                candidate.instances.erase(
+                    candidate.instances.begin() +
+                    static_cast<std::ptrdiff_t>(from));
+                for (auto& index : candidate.instance_of_op) {
+                    if (index > from) {
+                        --index;
+                    }
+                }
+            } else {
+                // Shrink the donor to its remaining members.
+                op_shape join = graph.shape(donor.front());
+                for (const op_id rest : donor) {
+                    join = op_shape::join(join, graph.shape(rest));
+                }
+                candidate.instances[from].shape = join;
+            }
+            refresh(graph, model, candidate);
+            if (candidate.total_area < path.total_area - 1e-9 &&
+                is_valid(graph, model, candidate, lambda)) {
+                path = std::move(candidate);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/// ASAP-retime all operations, preserving the binding and the relative
+/// execution order on each instance. Accepted if it strictly reduces the
+/// makespan (more room for rebinds) and stays valid.
+bool compaction_pass(const sequencing_graph& graph,
+                     const hardware_model& model, datapath& path, int lambda)
+{
+    datapath candidate = path;
+    // Process in current start order; each op starts at the max of its
+    // predecessors' finishes and its instance's availability.
+    std::vector<op_id> order = graph.all_ops();
+    std::sort(order.begin(), order.end(), [&](op_id a, op_id b) {
+        if (path.start[a.value()] != path.start[b.value()]) {
+            return path.start[a.value()] < path.start[b.value()];
+        }
+        return a < b;
+    });
+    std::vector<int> instance_free(path.instances.size(), 0);
+    for (const op_id o : order) {
+        const std::size_t i = candidate.instance_of_op[o.value()];
+        int earliest = instance_free[i];
+        for (const op_id p : graph.predecessors(o)) {
+            earliest = std::max(earliest, candidate.start[p.value()] +
+                                              candidate.bound_latency(p));
+        }
+        candidate.start[o.value()] = earliest;
+        instance_free[i] = earliest + candidate.instances[i].latency;
+    }
+    refresh(graph, model, candidate);
+    if (candidate.latency < path.latency &&
+        is_valid(graph, model, candidate, lambda)) {
+        path = std::move(candidate);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+improve_result improve_datapath(const sequencing_graph& graph,
+                                const hardware_model& model, datapath seed,
+                                int lambda, const improve_options& options)
+{
+    require_valid(graph, model, seed, lambda);
+
+    improve_result result;
+    const double seed_area = seed.total_area;
+    result.path = std::move(seed);
+
+    for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+        bool changed = false;
+        // Area moves first: compaction tightens the schedule and can
+        // destroy serialisations that rebinding would have merged, so it
+        // runs last -- its role is to free room for the *next* pass.
+        if (options.enable_rebind) {
+            // Rebinds accept one move at a time; loop them to exhaustion
+            // inside the pass so a pass does all available work.
+            while (rebind_pass(graph, model, result.path, lambda)) {
+                ++result.moves_applied;
+                changed = true;
+            }
+        }
+        if (options.enable_downsize) {
+            changed |= downsize_pass(graph, model, result.path, lambda);
+        }
+        if (options.enable_compaction) {
+            changed |= compaction_pass(graph, model, result.path, lambda);
+        }
+        if (changed) {
+            ++result.moves_applied;
+        } else {
+            break;
+        }
+    }
+
+    result.area_saved = seed_area - result.path.total_area;
+    MWL_ASSERT(result.area_saved >= -1e-9);
+    require_valid(graph, model, result.path, lambda);
+    return result;
+}
+
+} // namespace mwl

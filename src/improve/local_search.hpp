@@ -1,0 +1,54 @@
+// Local-search post-optimisation of allocated datapaths.
+//
+// DPAlloc stops at its first feasible solution (the paper's design); this
+// module measures and harvests the headroom it leaves with a greedy
+// hill-climb over three validator-checked move classes:
+//
+//   * downsize -- shrink an instance's resource type to the join of its
+//     members' shapes (never invalid w.r.t. coverage; may change latency,
+//     so the move is re-validated);
+//   * rebind   -- move one operation onto another existing instance,
+//     deleting its old instance when it empties;
+//   * compact  -- ASAP-retime every operation respecting the current
+//     binding (frees schedule room that unlocks further rebinds).
+//
+// Every candidate is checked with the independent validator against the
+// latency constraint before acceptance, and accepted only on a strict
+// area improvement (compaction: strict latency improvement), so the climb
+// terminates and the result is always at least as good as the seed.
+// bench/improvement_headroom quantifies the gap DPAlloc leaves.
+
+#ifndef MWL_IMPROVE_LOCAL_SEARCH_HPP
+#define MWL_IMPROVE_LOCAL_SEARCH_HPP
+
+#include "core/datapath.hpp"
+#include "model/hardware_model.hpp"
+
+#include <cstddef>
+
+namespace mwl {
+
+struct improve_options {
+    /// Hard cap on full improvement sweeps (each sweep tries every move).
+    std::size_t max_passes = 64;
+    bool enable_downsize = true;
+    bool enable_rebind = true;
+    bool enable_compaction = true;
+};
+
+struct improve_result {
+    datapath path;
+    std::size_t moves_applied = 0;
+    double area_saved = 0.0; ///< seed area minus final area (>= 0)
+};
+
+/// Improve `seed` under latency constraint `lambda`. The seed must be a
+/// valid datapath for (graph, model, lambda) -- throws `mwl::error`
+/// otherwise.
+[[nodiscard]] improve_result improve_datapath(
+    const sequencing_graph& graph, const hardware_model& model,
+    datapath seed, int lambda, const improve_options& options = {});
+
+} // namespace mwl
+
+#endif // MWL_IMPROVE_LOCAL_SEARCH_HPP

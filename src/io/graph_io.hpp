@@ -1,0 +1,40 @@
+// Plain-text sequencing-graph interchange format (.mwl).
+//
+//   # comment
+//   op  <name> add <width>
+//   op  <name> mul <width_a> <width_b>
+//   dep <producer-name> <consumer-name>
+//
+// Names are unique identifiers (no whitespace). Dependencies may only
+// reference operations declared earlier in the file; cycles are rejected
+// by the underlying graph. The parser reports malformed input with
+// 1-based line numbers via `parse_error`.
+
+#ifndef MWL_IO_GRAPH_IO_HPP
+#define MWL_IO_GRAPH_IO_HPP
+
+#include "dfg/sequencing_graph.hpp"
+#include "support/error.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace mwl {
+
+/// Malformed .mwl input; `what()` includes the line number.
+class parse_error : public error {
+public:
+    using error::error;
+};
+
+/// Parse a graph from text. Throws `parse_error` on malformed input.
+[[nodiscard]] sequencing_graph parse_graph(std::istream& in);
+[[nodiscard]] sequencing_graph parse_graph_string(const std::string& text);
+
+/// Serialise a graph; `parse_graph_string(write_graph(g))` reproduces `g`.
+/// Unnamed operations are given stable names ("o<N>").
+[[nodiscard]] std::string write_graph(const sequencing_graph& graph);
+
+} // namespace mwl
+
+#endif // MWL_IO_GRAPH_IO_HPP

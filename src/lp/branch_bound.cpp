@@ -1,0 +1,137 @@
+#include "lp/branch_bound.hpp"
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mwl {
+namespace {
+
+struct node {
+    std::vector<double> lo;
+    std::vector<double> hi;
+    double bound; ///< parent LP objective: dive into promising nodes first
+};
+
+/// Most fractional integer variable, or npos if x is integral.
+std::size_t pick_branch_var(const lp_problem& problem,
+                            const std::vector<double>& x, double tol)
+{
+    const std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t best = npos;
+    double best_frac_dist = tol;
+    for (std::size_t v = 0; v < problem.n_vars(); ++v) {
+        if (problem.kind(v) != var_kind::integer) {
+            continue;
+        }
+        const double frac = x[v] - std::floor(x[v]);
+        const double dist = std::min(frac, 1.0 - frac);
+        if (dist > best_frac_dist) {
+            best_frac_dist = dist;
+            best = v;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+mip_solution solve_mip(const lp_problem& problem, const mip_options& opt)
+{
+    mip_solution result;
+    const stopwatch clock;
+    const std::size_t npos = static_cast<std::size_t>(-1);
+
+    double incumbent_obj = std::isnan(opt.cutoff)
+                               ? std::numeric_limits<double>::infinity()
+                               : opt.cutoff;
+    bool have_incumbent = false;
+
+    std::vector<node> stack;
+    {
+        node root;
+        root.lo.reserve(problem.n_vars());
+        root.hi.reserve(problem.n_vars());
+        for (std::size_t v = 0; v < problem.n_vars(); ++v) {
+            root.lo.push_back(problem.lower(v));
+            root.hi.push_back(problem.upper(v));
+        }
+        root.bound = -std::numeric_limits<double>::infinity();
+        stack.push_back(std::move(root));
+    }
+
+    bool hit_limit = false;
+    while (!stack.empty()) {
+        if (result.nodes >= opt.max_nodes ||
+            (opt.time_limit_seconds > 0.0 &&
+             clock.seconds() > opt.time_limit_seconds)) {
+            hit_limit = true;
+            break;
+        }
+        node current = std::move(stack.back());
+        stack.pop_back();
+        if (current.bound >= incumbent_obj - 1e-9) {
+            continue; // parent bound already dominated
+        }
+        ++result.nodes;
+
+        const lp_solution relax =
+            solve_lp(problem, opt.lp, current.lo, current.hi);
+        result.lp_iterations += relax.iterations;
+        if (relax.status == lp_status::infeasible) {
+            continue;
+        }
+        if (relax.status == lp_status::iteration_limit) {
+            hit_limit = true; // cannot trust the node; be conservative
+            break;
+        }
+        if (relax.objective >= incumbent_obj - 1e-9) {
+            continue; // bound-dominated
+        }
+
+        const std::size_t branch_var =
+            pick_branch_var(problem, relax.x, opt.integrality_tol);
+        if (branch_var == npos) {
+            // Integral: new incumbent (strictly better by the bound check).
+            incumbent_obj = relax.objective;
+            result.x = relax.x;
+            // Snap integer variables exactly.
+            for (std::size_t v = 0; v < problem.n_vars(); ++v) {
+                if (problem.kind(v) == var_kind::integer) {
+                    result.x[v] = std::round(result.x[v]);
+                }
+            }
+            result.objective = problem.objective_of(result.x);
+            have_incumbent = true;
+            continue;
+        }
+
+        const double value = relax.x[branch_var];
+        node down = current;
+        down.hi[branch_var] = std::floor(value);
+        down.bound = relax.objective;
+        node up = std::move(current);
+        up.lo[branch_var] = std::ceil(value);
+        up.bound = relax.objective;
+        // DFS diving: push the "up" branch first so the "down" branch
+        // (usually the cheaper one for covering-style minimisation) is
+        // explored next.
+        stack.push_back(std::move(up));
+        stack.push_back(std::move(down));
+    }
+
+    if (have_incumbent) {
+        result.status = hit_limit ? mip_status::limit_feasible
+                                  : mip_status::optimal;
+        MWL_ASSERT(problem.is_feasible(result.x, 1e-5));
+    } else {
+        result.status = hit_limit ? mip_status::limit_nofeasible
+                                  : mip_status::infeasible;
+    }
+    return result;
+}
+
+} // namespace mwl

@@ -1,0 +1,85 @@
+#include "lp/problem.hpp"
+
+#include "support/error.hpp"
+
+#include <cmath>
+
+namespace mwl {
+
+std::size_t lp_problem::add_variable(double cost, double lo, double hi,
+                                     var_kind kind, std::string name)
+{
+    require(std::isfinite(lo) && std::isfinite(hi),
+            "variable bounds must be finite");
+    require(lo <= hi, "variable lower bound exceeds upper bound");
+    require(std::isfinite(cost), "variable cost must be finite");
+    cost_.push_back(cost);
+    lo_.push_back(lo);
+    hi_.push_back(hi);
+    kind_.push_back(kind);
+    names_.push_back(std::move(name));
+    return cost_.size() - 1;
+}
+
+std::size_t lp_problem::add_binary(double cost, std::string name)
+{
+    return add_variable(cost, 0.0, 1.0, var_kind::integer, std::move(name));
+}
+
+void lp_problem::add_row(lp_row row)
+{
+    for (const auto& [v, coeff] : row.terms) {
+        require(v < n_vars(), "constraint references unknown variable");
+        require(std::isfinite(coeff), "constraint coefficient must be finite");
+    }
+    require(std::isfinite(row.rhs), "constraint rhs must be finite");
+    rows_.push_back(std::move(row));
+}
+
+double lp_problem::objective_of(const std::vector<double>& x) const
+{
+    MWL_ASSERT(x.size() == n_vars());
+    double total = 0.0;
+    for (std::size_t v = 0; v < n_vars(); ++v) {
+        total += cost_[v] * x[v];
+    }
+    return total;
+}
+
+bool lp_problem::is_feasible(const std::vector<double>& x, double tol) const
+{
+    if (x.size() != n_vars()) {
+        return false;
+    }
+    for (std::size_t v = 0; v < n_vars(); ++v) {
+        if (x[v] < lo_[v] - tol || x[v] > hi_[v] + tol) {
+            return false;
+        }
+    }
+    for (const lp_row& r : rows_) {
+        double lhs = 0.0;
+        for (const auto& [v, coeff] : r.terms) {
+            lhs += coeff * x[v];
+        }
+        switch (r.sense) {
+        case row_sense::le:
+            if (lhs > r.rhs + tol) {
+                return false;
+            }
+            break;
+        case row_sense::ge:
+            if (lhs < r.rhs - tol) {
+                return false;
+            }
+            break;
+        case row_sense::eq:
+            if (std::abs(lhs - r.rhs) > tol) {
+                return false;
+            }
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace mwl

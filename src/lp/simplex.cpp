@@ -1,0 +1,366 @@
+#include "lp/simplex.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mwl {
+namespace {
+
+enum class var_state : unsigned char { basic, at_lower, at_upper };
+
+/// Dense working copy of the problem in equality form.
+struct tableau {
+    std::size_t m = 0;      ///< rows
+    std::size_t n = 0;      ///< columns (structural + slack + artificial)
+    std::size_t n_struct = 0;
+    std::vector<double> a;  ///< row-major m x n, maintained as B^{-1}A
+    std::vector<double> rhs; ///< maintained as B^{-1}b
+    std::vector<double> lo, hi;
+    std::vector<double> cost;        ///< phase-2 costs
+    std::vector<std::size_t> basis;  ///< basic column per row
+    std::vector<var_state> state;
+    std::vector<std::size_t> artificials;
+
+    [[nodiscard]] double& at(std::size_t r, std::size_t c)
+    {
+        return a[r * n + c];
+    }
+    [[nodiscard]] double at(std::size_t r, std::size_t c) const
+    {
+        return a[r * n + c];
+    }
+};
+
+/// Value of a nonbasic column.
+double nonbasic_value(const tableau& t, std::size_t j)
+{
+    return t.state[j] == var_state::at_upper ? t.hi[j] : t.lo[j];
+}
+
+/// Recompute basic values xB = B^{-1}b - sum_nonbasic B^{-1}A_j * x_j.
+std::vector<double> basic_values(const tableau& t)
+{
+    std::vector<double> xb = t.rhs;
+    for (std::size_t j = 0; j < t.n; ++j) {
+        if (t.state[j] == var_state::basic) {
+            continue;
+        }
+        const double v = nonbasic_value(t, j);
+        if (v == 0.0) {
+            continue;
+        }
+        for (std::size_t i = 0; i < t.m; ++i) {
+            xb[i] -= t.at(i, j) * v;
+        }
+    }
+    return xb;
+}
+
+/// One primal simplex run over `costs`; returns true if an optimum was
+/// reached within the iteration budget.
+bool iterate(tableau& t, const std::vector<double>& costs,
+             const simplex_options& opt, std::size_t& iterations)
+{
+    const std::size_t npos = static_cast<std::size_t>(-1);
+    for (;; ++iterations) {
+        if (iterations >= opt.max_iterations) {
+            return false;
+        }
+
+        const std::vector<double> xb = basic_values(t);
+
+        // Reduced costs d_j = c_j - c_B' B^{-1} A_j.
+        // c_B' tab row combination: accumulate per column.
+        std::vector<double> d(costs);
+        for (std::size_t i = 0; i < t.m; ++i) {
+            const double cb = costs[t.basis[i]];
+            if (cb == 0.0) {
+                continue;
+            }
+            for (std::size_t j = 0; j < t.n; ++j) {
+                d[j] -= cb * t.at(i, j);
+            }
+        }
+
+        // Entering variable: Bland's rule (smallest eligible index).
+        std::size_t enter = npos;
+        int dir = +1;
+        for (std::size_t j = 0; j < t.n; ++j) {
+            if (t.state[j] == var_state::basic) {
+                continue;
+            }
+            if (t.lo[j] == t.hi[j]) {
+                continue; // fixed variable can never improve
+            }
+            if (t.state[j] == var_state::at_lower &&
+                d[j] < -opt.reduced_cost_tol) {
+                enter = j;
+                dir = +1;
+                break;
+            }
+            if (t.state[j] == var_state::at_upper &&
+                d[j] > opt.reduced_cost_tol) {
+                enter = j;
+                dir = -1;
+                break;
+            }
+        }
+        if (enter == npos) {
+            return true; // optimal for these costs
+        }
+
+        // Ratio test: x_enter moves by dir * step, basic i by -dir*y_i*step.
+        double step = t.hi[enter] - t.lo[enter]; // bound-flip limit
+        std::size_t leave_row = npos;
+        bool leave_to_upper = false;
+        for (std::size_t i = 0; i < t.m; ++i) {
+            const double y = t.at(i, enter);
+            const double delta = -static_cast<double>(dir) * y;
+            if (std::abs(delta) <= opt.pivot_tol) {
+                continue;
+            }
+            const std::size_t b = t.basis[i];
+            double limit;
+            bool to_upper;
+            if (delta > 0.0) {
+                limit = (t.hi[b] - xb[i]) / delta;
+                to_upper = true;
+            } else {
+                limit = (t.lo[b] - xb[i]) / delta;
+                to_upper = false;
+            }
+            limit = std::max(limit, 0.0); // degeneracy guard
+            const bool tighter =
+                limit < step - 1e-12 ||
+                (limit <= step + 1e-12 && leave_row != npos &&
+                 t.basis[i] < t.basis[leave_row]);
+            if (tighter) {
+                step = limit;
+                leave_row = i;
+                leave_to_upper = to_upper;
+            }
+        }
+
+        if (leave_row == npos) {
+            // Entering variable flips to its opposite bound.
+            t.state[enter] = (dir > 0) ? var_state::at_upper
+                                       : var_state::at_lower;
+            continue;
+        }
+
+        // Pivot: enter becomes basic in leave_row.
+        const std::size_t leave = t.basis[leave_row];
+        const double pivot = t.at(leave_row, enter);
+        MWL_ASSERT(std::abs(pivot) > opt.pivot_tol);
+        const double inv = 1.0 / pivot;
+        for (std::size_t j = 0; j < t.n; ++j) {
+            t.at(leave_row, j) *= inv;
+        }
+        t.rhs[leave_row] *= inv;
+        for (std::size_t i = 0; i < t.m; ++i) {
+            if (i == leave_row) {
+                continue;
+            }
+            const double f = t.at(i, enter);
+            if (f == 0.0) {
+                continue;
+            }
+            for (std::size_t j = 0; j < t.n; ++j) {
+                t.at(i, j) -= f * t.at(leave_row, j);
+            }
+            t.rhs[i] -= f * t.rhs[leave_row];
+        }
+        t.basis[leave_row] = enter;
+        t.state[enter] = var_state::basic;
+        t.state[leave] =
+            leave_to_upper ? var_state::at_upper : var_state::at_lower;
+    }
+}
+
+} // namespace
+
+lp_solution solve_lp(const lp_problem& problem, const simplex_options& opt,
+                     std::span<const double> lo_override,
+                     std::span<const double> hi_override)
+{
+    const std::size_t ns = problem.n_vars();
+    const std::size_t m = problem.n_rows();
+    require(lo_override.empty() || lo_override.size() == ns,
+            "lower-bound override must cover every variable");
+    require(hi_override.empty() || hi_override.size() == ns,
+            "upper-bound override must cover every variable");
+
+    const auto lo_of = [&](std::size_t v) {
+        return lo_override.empty() ? problem.lower(v) : lo_override[v];
+    };
+    const auto hi_of = [&](std::size_t v) {
+        return hi_override.empty() ? problem.upper(v) : hi_override[v];
+    };
+
+    lp_solution result;
+    for (std::size_t v = 0; v < ns; ++v) {
+        if (lo_of(v) > hi_of(v)) {
+            return result; // trivially infeasible node
+        }
+    }
+
+    // Build the equality-form tableau: structural vars, then one slack per
+    // inequality row, then artificials where the slack cannot absorb the
+    // initial residual (all structurals start at their lower bound).
+    tableau t;
+    t.n_struct = ns;
+    t.m = m;
+
+    // Count slack columns.
+    std::size_t n_slack = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+        if (problem.row(r).sense != row_sense::eq) {
+            ++n_slack;
+        }
+    }
+    const std::size_t max_cols = ns + n_slack + m; // artificials worst case
+    t.a.assign(m * max_cols, 0.0);
+    t.n = max_cols; // provisional stride; trimmed columns stay zero
+    t.lo.assign(max_cols, 0.0);
+    t.hi.assign(max_cols, 0.0);
+    t.cost.assign(max_cols, 0.0);
+    t.state.assign(max_cols, var_state::at_lower);
+    t.rhs.assign(m, 0.0);
+    t.basis.assign(m, 0);
+
+    for (std::size_t v = 0; v < ns; ++v) {
+        t.lo[v] = lo_of(v);
+        t.hi[v] = hi_of(v);
+        t.cost[v] = problem.cost(v);
+        // Rest at the finite bound of smaller magnitude: keeps residuals
+        // small. Both are finite by construction.
+        t.state[v] = var_state::at_lower;
+    }
+
+    std::size_t next_col = ns;
+    std::vector<double> phase1_cost(max_cols, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+        const lp_row& row = problem.row(r);
+        double residual = row.rhs;
+        double slack_big = std::abs(row.rhs) + 1.0;
+        for (const auto& [v, coeff] : row.terms) {
+            t.at(r, v) += coeff;
+            residual -= coeff * t.lo[v];
+            slack_big += std::abs(coeff) *
+                         std::max(std::abs(lo_of(v)), std::abs(hi_of(v)));
+        }
+
+        // Slack column.
+        std::size_t slack = static_cast<std::size_t>(-1);
+        if (row.sense == row_sense::le) {
+            slack = next_col++;
+            t.at(r, slack) = 1.0;
+            t.lo[slack] = 0.0;
+            t.hi[slack] = slack_big;
+        } else if (row.sense == row_sense::ge) {
+            slack = next_col++;
+            t.at(r, slack) = -1.0;
+            t.lo[slack] = 0.0;
+            t.hi[slack] = slack_big;
+        }
+        t.rhs[r] = row.rhs;
+
+        // Initial basic variable for this row: the slack if it can absorb
+        // the residual, otherwise a fresh artificial. The tableau invariant
+        // is tab == B^{-1}A with B the basis columns, so whenever the
+        // chosen basic column's coefficient is -1 the whole row (including
+        // the stored rhs) is negated to make it +1.
+        const bool slack_works =
+            (row.sense == row_sense::le && residual >= 0.0) ||
+            (row.sense == row_sense::ge && residual <= 0.0);
+        const auto negate_row = [&] {
+            for (std::size_t j = 0; j < max_cols; ++j) {
+                t.at(r, j) = -t.at(r, j);
+            }
+            t.rhs[r] = -t.rhs[r];
+        };
+        if (slack_works) {
+            if (row.sense == row_sense::ge) {
+                negate_row();
+            }
+            t.basis[r] = slack;
+            t.state[slack] = var_state::basic;
+        } else {
+            if (residual < 0.0) {
+                negate_row();
+            }
+            const std::size_t art = next_col++;
+            t.at(r, art) = 1.0;
+            t.lo[art] = 0.0;
+            t.hi[art] = std::abs(residual) + 1.0;
+            phase1_cost[art] = 1.0;
+            t.artificials.push_back(art);
+            t.basis[r] = art;
+            t.state[art] = var_state::basic;
+        }
+    }
+
+    // Columns [next_col, max_cols) were reserved for artificials that were
+    // not needed. They are all-zero and fixed at [0,0], so leaving them in
+    // place is harmless: the entering rule skips fixed variables.
+    static_cast<void>(next_col);
+
+    // Phase 1: drive artificial usage to zero.
+    if (!t.artificials.empty()) {
+        if (!iterate(t, phase1_cost, opt, result.iterations)) {
+            result.status = lp_status::iteration_limit;
+            return result;
+        }
+        const std::vector<double> xb = basic_values(t);
+        double infeas = 0.0;
+        for (std::size_t i = 0; i < t.m; ++i) {
+            if (phase1_cost[t.basis[i]] > 0.0) {
+                infeas += xb[i];
+            }
+        }
+        for (const std::size_t a : t.artificials) {
+            if (t.state[a] != var_state::basic) {
+                infeas += nonbasic_value(t, a);
+            }
+        }
+        if (infeas > opt.feasibility_tol) {
+            result.status = lp_status::infeasible;
+            return result;
+        }
+        // Forbid artificials from ever rising again.
+        for (const std::size_t a : t.artificials) {
+            t.hi[a] = 0.0;
+        }
+    }
+
+    // Phase 2: optimise the real objective.
+    if (!iterate(t, t.cost, opt, result.iterations)) {
+        result.status = lp_status::iteration_limit;
+        return result;
+    }
+
+    const std::vector<double> xb = basic_values(t);
+    result.x.assign(ns, 0.0);
+    for (std::size_t v = 0; v < ns; ++v) {
+        if (t.state[v] != var_state::basic) {
+            result.x[v] = nonbasic_value(t, v);
+        }
+    }
+    for (std::size_t i = 0; i < t.m; ++i) {
+        if (t.basis[i] < ns) {
+            result.x[t.basis[i]] = xb[i];
+        }
+    }
+    // Clamp roundoff excursions into the box.
+    for (std::size_t v = 0; v < ns; ++v) {
+        result.x[v] = std::clamp(result.x[v], lo_of(v), hi_of(v));
+    }
+    result.objective = problem.objective_of(result.x);
+    result.status = lp_status::optimal;
+    return result;
+}
+
+} // namespace mwl

@@ -1,0 +1,55 @@
+// Bounded-variable primal simplex (dense tableau, two phases).
+//
+// Method: rows are converted to equalities with per-row slack columns
+// (bounded by data-derived finite limits); rows whose slack cannot absorb
+// the initial residual get a phase-1 artificial. Nonbasic variables rest at
+// one of their bounds; the ratio test accounts for both the basic
+// variables' bound windows and the entering variable's own span (bound
+// flips). Bland's rule everywhere => finite termination without
+// anti-cycling perturbation. Basic values and reduced costs are recomputed
+// from the maintained tableau every iteration, trading a constant factor
+// for numerical robustness -- at this repository's problem sizes that is
+// the right trade.
+
+#ifndef MWL_LP_SIMPLEX_HPP
+#define MWL_LP_SIMPLEX_HPP
+
+#include "lp/problem.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mwl {
+
+enum class lp_status {
+    optimal,
+    infeasible,
+    iteration_limit,
+};
+
+struct lp_solution {
+    lp_status status = lp_status::infeasible;
+    std::vector<double> x;  ///< structural variable values (status optimal)
+    double objective = 0.0; ///< c'x (status optimal)
+    std::size_t iterations = 0;
+};
+
+struct simplex_options {
+    std::size_t max_iterations = 200000;
+    double feasibility_tol = 1e-7;
+    double reduced_cost_tol = 1e-7;
+    double pivot_tol = 1e-9;
+};
+
+/// Solve the LP relaxation of `problem` (integrality ignored).
+/// `lo_override` / `hi_override`, when non-empty, replace the variable
+/// bounds -- branch and bound uses this to explore nodes without copying
+/// the problem. Override spans must be full-length.
+[[nodiscard]] lp_solution solve_lp(const lp_problem& problem,
+                                   const simplex_options& options = {},
+                                   std::span<const double> lo_override = {},
+                                   std::span<const double> hi_override = {});
+
+} // namespace mwl
+
+#endif // MWL_LP_SIMPLEX_HPP

@@ -1,0 +1,64 @@
+#include "model/hardware_model.hpp"
+
+#include "support/error.hpp"
+
+namespace mwl {
+
+sonic_model::sonic_model(int adder_latency, int mul_bits_per_cycle)
+    : adder_latency_(adder_latency), mul_bits_per_cycle_(mul_bits_per_cycle)
+{
+    require(adder_latency >= 1, "adder latency must be >= 1 cycle");
+    require(mul_bits_per_cycle >= 1, "multiplier bits/cycle must be >= 1");
+}
+
+int sonic_model::latency(const op_shape& shape) const
+{
+    switch (shape.kind()) {
+    case op_kind::add:
+        return adder_latency_;
+    case op_kind::mul: {
+        // Empirical SONIC formula: ceil((n + m) / 8) cycles.
+        const int bits = shape.width_a() + shape.width_b();
+        return (bits + mul_bits_per_cycle_ - 1) / mul_bits_per_cycle_;
+    }
+    }
+    MWL_ASSERT(false && "unreachable");
+    return 1;
+}
+
+double sonic_model::area(const op_shape& shape) const
+{
+    switch (shape.kind()) {
+    case op_kind::add:
+        // Ripple-carry adder: area proportional to width.
+        return static_cast<double>(shape.width_a());
+    case op_kind::mul:
+        // Array multiplier: area proportional to the operand-width product.
+        return static_cast<double>(shape.width_a()) *
+               static_cast<double>(shape.width_b());
+    }
+    MWL_ASSERT(false && "unreachable");
+    return 1.0;
+}
+
+uniform_latency_model::uniform_latency_model(int latency) : latency_(latency)
+{
+    require(latency >= 1, "uniform latency must be >= 1 cycle");
+}
+
+int uniform_latency_model::latency(const op_shape& /*shape*/) const
+{
+    return latency_;
+}
+
+double uniform_latency_model::area(const op_shape& shape) const
+{
+    // Same area law as the SONIC model: only latency is made uniform.
+    if (shape.kind() == op_kind::add) {
+        return static_cast<double>(shape.width_a());
+    }
+    return static_cast<double>(shape.width_a()) *
+           static_cast<double>(shape.width_b());
+}
+
+} // namespace mwl

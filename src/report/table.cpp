@@ -1,0 +1,97 @@
+#include "report/table.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mwl {
+
+table::table(std::string title) : title_(std::move(title)) {}
+
+void table::header(std::vector<std::string> columns)
+{
+    require(!columns.empty(), "table header must have at least one column");
+    header_ = std::move(columns);
+}
+
+void table::row(std::vector<std::string> cells)
+{
+    require(cells.size() == header_.size(),
+            "row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string table::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string table::num(int value)
+{
+    return std::to_string(value);
+}
+
+void table::print(std::ostream& os) const
+{
+    if (!title_.empty()) {
+        os << "== " << title_ << " ==\n";
+    }
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        width[c] = header_[c].size();
+    }
+    for (const auto& r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            width[c] = std::max(width[c], r[c].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+               << cells[c];
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        rule += std::string(width[c], '-');
+        if (c + 1 < header_.size()) {
+            rule += "  ";
+        }
+    }
+    os << rule << '\n';
+    for (const auto& r : rows_) {
+        print_row(r);
+    }
+}
+
+void table::print_csv(std::ostream& os) const
+{
+    const auto csv_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string& cell = cells[c];
+            const bool quote = cell.find(',') != std::string::npos;
+            if (c > 0) {
+                os << ',';
+            }
+            if (quote) {
+                os << '"' << cell << '"';
+            } else {
+                os << cell;
+            }
+        }
+        os << '\n';
+    };
+    csv_row(header_);
+    for (const auto& r : rows_) {
+        csv_row(r);
+    }
+}
+
+} // namespace mwl

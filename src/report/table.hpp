@@ -1,0 +1,43 @@
+// Console table / CSV rendering for the benchmark harnesses, so every
+// "regenerate Table N / Figure N" binary prints the same rows and series
+// the paper reports in a uniform format.
+
+#ifndef MWL_REPORT_TABLE_HPP
+#define MWL_REPORT_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mwl {
+
+/// Column-aligned text table with an optional title.
+class table {
+public:
+    explicit table(std::string title = {});
+
+    /// Set the header row (defines the column count).
+    void header(std::vector<std::string> columns);
+
+    /// Append a data row; must match the header's column count.
+    void row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with `precision` digits after the point.
+    [[nodiscard]] static std::string num(double value, int precision = 2);
+    [[nodiscard]] static std::string num(int value);
+
+    /// Render with aligned columns.
+    void print(std::ostream& os) const;
+
+    /// Render as CSV (header first; no escaping beyond quoting commas).
+    void print_csv(std::ostream& os) const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mwl
+
+#endif // MWL_REPORT_TABLE_HPP

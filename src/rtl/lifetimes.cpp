@@ -1,0 +1,91 @@
+#include "rtl/lifetimes.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+
+int result_width(const op_shape& shape)
+{
+    switch (shape.kind()) {
+    case op_kind::add:
+        return shape.width_a();
+    case op_kind::mul:
+        return shape.width_a() + shape.width_b();
+    }
+    MWL_ASSERT(false && "unreachable");
+    return 1;
+}
+
+std::vector<value_lifetime> compute_lifetimes(const sequencing_graph& graph,
+                                              const datapath& path)
+{
+    require(path.start.size() == graph.size(),
+            "datapath does not match graph");
+    std::vector<value_lifetime> lifetimes;
+    lifetimes.reserve(graph.size());
+    for (const op_id o : graph.all_ops()) {
+        value_lifetime v;
+        v.producer = o;
+        v.birth = path.start[o.value()] + path.bound_latency(o);
+        v.width = result_width(graph.shape(o));
+        if (graph.successors(o).empty()) {
+            v.death = path.latency; // primary output: live to the end
+        } else {
+            // Consumers sample their operands for their whole execution
+            // span (combinational units with held operand selection), so
+            // the value must survive until the last consumer *finishes*.
+            v.death = v.birth;
+            for (const op_id s : graph.successors(o)) {
+                v.death = std::max(v.death, path.start[s.value()] +
+                                                path.bound_latency(s));
+            }
+        }
+        // A value consumed the cycle it is produced still occupies storage
+        // for that cycle.
+        v.death = std::max(v.death, v.birth + 1);
+        lifetimes.push_back(v);
+    }
+    return lifetimes;
+}
+
+std::vector<rtl_register> left_edge_allocate(
+    const std::vector<value_lifetime>& lifetimes)
+{
+    std::vector<std::size_t> order(lifetimes.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (lifetimes[a].birth != lifetimes[b].birth) {
+            return lifetimes[a].birth < lifetimes[b].birth;
+        }
+        return lifetimes[a].producer < lifetimes[b].producer;
+    });
+
+    std::vector<rtl_register> registers;
+    std::vector<int> free_at; // per register, first free cycle
+    for (const std::size_t vi : order) {
+        const value_lifetime& v = lifetimes[vi];
+        // First-fit over registers sorted by construction order; left-edge
+        // optimality needs only *a* register free at v.birth.
+        std::size_t slot = registers.size();
+        for (std::size_t r = 0; r < registers.size(); ++r) {
+            if (free_at[r] <= v.birth) {
+                slot = r;
+                break;
+            }
+        }
+        if (slot == registers.size()) {
+            registers.emplace_back();
+            free_at.push_back(0);
+        }
+        registers[slot].values.push_back(vi);
+        registers[slot].width = std::max(registers[slot].width, v.width);
+        free_at[slot] = v.death;
+    }
+    return registers;
+}
+
+} // namespace mwl

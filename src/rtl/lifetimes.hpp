@@ -1,0 +1,56 @@
+// Value lifetimes and left-edge register allocation.
+//
+// The paper's area model covers functional units only (Eqn. 5); a real
+// datapath also spends area on registers holding values between control
+// steps and on the multiplexers steering shared resources. This module
+// derives those from an allocated datapath: each operation's result is a
+// *value* live from the producer's finish to its last consumer's start,
+// and registers are allocated to values with the classic left-edge
+// algorithm (optimal for interval conflict graphs: register count equals
+// the maximum number of simultaneously live values).
+
+#ifndef MWL_RTL_LIFETIMES_HPP
+#define MWL_RTL_LIFETIMES_HPP
+
+#include "core/datapath.hpp"
+#include "dfg/sequencing_graph.hpp"
+
+#include <vector>
+
+namespace mwl {
+
+/// One value: the result of `producer`, live over [birth, death).
+/// Values whose producer has no consumers are primary outputs and stay
+/// live until the end of the schedule.
+struct value_lifetime {
+    op_id producer;
+    int birth = 0;  ///< producer finish time
+    int death = 0;  ///< last consumer start time (or schedule end)
+    int width = 1;  ///< result width in bits
+};
+
+/// A physical register and the values time-multiplexed onto it.
+struct rtl_register {
+    int width = 1; ///< max width over assigned values
+    std::vector<std::size_t> values; ///< indices into the lifetime vector
+};
+
+/// Result width of an operation: adders keep their operand width, an
+/// n x m multiplier produces n + m bits.
+[[nodiscard]] int result_width(const op_shape& shape);
+
+/// Lifetimes of every operation's result under `path`'s schedule,
+/// ordered by op id. Zero-length lifetimes (value consumed in the cycle
+/// it appears) are kept with death == birth; they still need a register
+/// (one cycle of storage) and are widened to death = birth + 1.
+[[nodiscard]] std::vector<value_lifetime> compute_lifetimes(
+    const sequencing_graph& graph, const datapath& path);
+
+/// Left-edge register allocation. Deterministic (birth, then op id).
+/// The returned registers reference `lifetimes` by index.
+[[nodiscard]] std::vector<rtl_register> left_edge_allocate(
+    const std::vector<value_lifetime>& lifetimes);
+
+} // namespace mwl
+
+#endif // MWL_RTL_LIFETIMES_HPP

@@ -1,0 +1,106 @@
+#include "rtl/netlist.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mwl {
+namespace {
+
+/// Register index holding each value, from the allocation.
+std::vector<std::size_t> register_of_value(
+    const std::vector<rtl_register>& registers, std::size_t n_values)
+{
+    std::vector<std::size_t> where(n_values, 0);
+    for (std::size_t r = 0; r < registers.size(); ++r) {
+        for (const std::size_t vi : registers[r].values) {
+            where[vi] = r;
+        }
+    }
+    return where;
+}
+
+} // namespace
+
+rtl_netlist build_rtl(const sequencing_graph& graph,
+                      const hardware_model& model, const datapath& path,
+                      const rtl_cost_model& cost)
+{
+    static_cast<void>(model);
+    rtl_netlist net;
+    net.lifetimes = compute_lifetimes(graph, path);
+    net.registers = left_edge_allocate(net.lifetimes);
+    const std::vector<std::size_t> reg_of =
+        register_of_value(net.registers, net.lifetimes.size());
+
+    for (const datapath_instance& inst : path.instances) {
+        net.fu_area += inst.area;
+    }
+    for (const rtl_register& reg : net.registers) {
+        net.register_area +=
+            cost.area_per_register_bit * static_cast<double>(reg.width);
+    }
+
+    // Functional-unit input muxes: for each instance and operand port, the
+    // distinct sources are the registers holding the port's operands
+    // across all operations executed on the instance. Operand order is
+    // predecessor-id order; both adder and multiplier are 2-port units
+    // (operations with fewer predecessors take primary inputs, each of
+    // which is its own source).
+    for (const datapath_instance& inst : path.instances) {
+        const int n_ports = 2;
+        for (int port = 0; port < n_ports; ++port) {
+            std::set<std::size_t> sources; // register ids
+            int primary_inputs = 0;
+            for (const op_id o : inst.ops) {
+                const auto preds = graph.predecessors(o);
+                if (static_cast<std::size_t>(port) < preds.size()) {
+                    sources.insert(
+                        reg_of[preds[static_cast<std::size_t>(port)]
+                                   .value()]);
+                } else {
+                    ++primary_inputs; // fed from outside the datapath
+                }
+            }
+            // Every external operand arrives on its own input wire, so
+            // each one is a distinct mux source.
+            const int fan_in =
+                static_cast<int>(sources.size()) + primary_inputs;
+            if (fan_in >= 1) {
+                rtl_mux mux;
+                mux.feeds_fu = true;
+                mux.fan_in = fan_in;
+                mux.width = port == 0 ? inst.shape.width_a()
+                            : inst.shape.kind() == op_kind::mul
+                                ? inst.shape.width_b()
+                                : inst.shape.width_a();
+                net.muxes.push_back(mux);
+            }
+        }
+    }
+
+    // Register input muxes: distinct producing instances per register.
+    for (const rtl_register& reg : net.registers) {
+        std::set<std::size_t> sources;
+        for (const std::size_t vi : reg.values) {
+            sources.insert(
+                path.instance_of_op[net.lifetimes[vi].producer.value()]);
+        }
+        rtl_mux mux;
+        mux.feeds_fu = false;
+        mux.fan_in = static_cast<int>(sources.size());
+        mux.width = reg.width;
+        net.muxes.push_back(mux);
+    }
+
+    for (const rtl_mux& mux : net.muxes) {
+        MWL_ASSERT(mux.fan_in >= 1);
+        net.mux_area += cost.area_per_mux_input_bit *
+                        static_cast<double>(mux.width) *
+                        static_cast<double>(mux.fan_in - 1);
+    }
+    return net;
+}
+
+} // namespace mwl

@@ -1,0 +1,61 @@
+// RTL netlist construction and the extended area model.
+//
+// Turns an allocated datapath into the structural inventory a register-
+// transfer implementation needs: functional units (one per datapath
+// instance), registers (left-edge allocated), and the multiplexers in
+// front of every shared functional-unit port and every multi-source
+// register. The extended area model then prices the whole design, which
+// the ext_area_model bench uses to check that the paper's conclusions
+// survive register/mux overheads the original cost function ignores.
+
+#ifndef MWL_RTL_NETLIST_HPP
+#define MWL_RTL_NETLIST_HPP
+
+#include "model/hardware_model.hpp"
+#include "rtl/lifetimes.hpp"
+
+#include <vector>
+
+namespace mwl {
+
+/// Area coefficients for the storage/steering fabric (LUT-ish units,
+/// consistent with the functional-unit model: 1 unit ~ 1 bit-cell).
+struct rtl_cost_model {
+    double area_per_register_bit = 0.5;
+    /// Per extra mux input, per bit (a 1-input "mux" is a wire).
+    double area_per_mux_input_bit = 0.25;
+};
+
+/// One multiplexer: `fan_in` sources steering `width` bits.
+struct rtl_mux {
+    int width = 1;
+    int fan_in = 1;
+    /// True if it feeds a functional-unit operand port, false if it feeds
+    /// a register's data input.
+    bool feeds_fu = true;
+};
+
+struct rtl_netlist {
+    std::vector<value_lifetime> lifetimes;
+    std::vector<rtl_register> registers;
+    std::vector<rtl_mux> muxes;
+
+    double fu_area = 0.0;       ///< sum over datapath instances
+    double register_area = 0.0;
+    double mux_area = 0.0;
+
+    [[nodiscard]] double total_area() const
+    {
+        return fu_area + register_area + mux_area;
+    }
+};
+
+/// Build the netlist for an allocated datapath.
+[[nodiscard]] rtl_netlist build_rtl(const sequencing_graph& graph,
+                                    const hardware_model& model,
+                                    const datapath& path,
+                                    const rtl_cost_model& cost = {});
+
+} // namespace mwl
+
+#endif // MWL_RTL_NETLIST_HPP

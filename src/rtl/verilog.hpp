@@ -1,0 +1,28 @@
+// Structural Verilog emission for an allocated datapath.
+//
+// Emits a self-contained synthesisable module: one functional unit per
+// datapath instance, the left-edge register file, operand/register
+// multiplexing driven by a cycle counter ("one-hot in time" schedule
+// controller), primary inputs for operands that are not produced inside
+// the graph, and primary outputs for operations without consumers.
+// Multi-cycle units hold their operand selection for the whole execution
+// span, so plain combinational +/* bodies model the SONIC-style timing.
+
+#ifndef MWL_RTL_VERILOG_HPP
+#define MWL_RTL_VERILOG_HPP
+
+#include "rtl/netlist.hpp"
+
+#include <string>
+
+namespace mwl {
+
+/// Render the datapath as a Verilog-2001 module named `module_name`.
+[[nodiscard]] std::string to_verilog(const sequencing_graph& graph,
+                                     const datapath& path,
+                                     const rtl_netlist& net,
+                                     const std::string& module_name);
+
+} // namespace mwl
+
+#endif // MWL_RTL_VERILOG_HPP

@@ -1,0 +1,134 @@
+#include "sched/force_directed.hpp"
+
+#include "dfg/analysis.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mwl {
+namespace {
+
+struct frames {
+    std::vector<int> lo; ///< earliest start per op
+    std::vector<int> hi; ///< latest start per op
+};
+
+/// Tighten [lo, hi] to respect precedence; returns false if any frame
+/// becomes empty.
+bool propagate(const sequencing_graph& graph, std::span<const int> latencies,
+               const std::vector<op_id>& topo, frames& f)
+{
+    for (const op_id o : topo) {
+        for (const op_id p : graph.predecessors(o)) {
+            f.lo[o.value()] = std::max(f.lo[o.value()],
+                                       f.lo[p.value()] + latencies[p.value()]);
+        }
+    }
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const op_id o = *it;
+        for (const op_id s : graph.successors(o)) {
+            f.hi[o.value()] = std::min(f.hi[o.value()],
+                                       f.hi[s.value()] - latencies[o.value()]);
+        }
+    }
+    for (std::size_t i = 0; i < f.lo.size(); ++i) {
+        if (f.lo[i] > f.hi[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Sum over types and steps of squared expected occupancy.
+double distribution_cost(const sequencing_graph& graph,
+                         std::span<const int> latencies, const frames& f,
+                         int horizon)
+{
+    // dg[y][t]
+    std::vector<std::vector<double>> dg(
+        2, std::vector<double>(static_cast<std::size_t>(horizon), 0.0));
+    for (const op_id o : graph.all_ops()) {
+        const std::size_t y =
+            graph.shape(o).kind() == op_kind::add ? 0u : 1u;
+        const int lo = f.lo[o.value()];
+        const int hi = f.hi[o.value()];
+        const double prob = 1.0 / static_cast<double>(hi - lo + 1);
+        for (int s = lo; s <= hi; ++s) {
+            for (int t = s; t < s + latencies[o.value()]; ++t) {
+                MWL_ASSERT(t < horizon);
+                dg[y][static_cast<std::size_t>(t)] += prob;
+            }
+        }
+    }
+    double cost = 0.0;
+    for (const auto& row : dg) {
+        for (const double x : row) {
+            cost += x * x;
+        }
+    }
+    return cost;
+}
+
+} // namespace
+
+std::vector<int> force_directed_schedule(const sequencing_graph& graph,
+                                         std::span<const int> latencies,
+                                         int horizon)
+{
+    require(latencies.size() == graph.size(),
+            "latency vector size must equal the number of operations");
+    if (graph.empty()) {
+        return {};
+    }
+
+    frames f;
+    f.lo = asap_start_times(graph, latencies);
+    f.hi = alap_start_times(graph, latencies, horizon); // checks feasibility
+    const std::vector<op_id> topo = graph.topological_order();
+
+    for (;;) {
+        // Next operation to fix: any with a non-collapsed frame.
+        std::vector<op_id> open;
+        for (const op_id o : graph.all_ops()) {
+            if (f.lo[o.value()] < f.hi[o.value()]) {
+                open.push_back(o);
+            }
+        }
+        if (open.empty()) {
+            break;
+        }
+
+        double best_cost = std::numeric_limits<double>::infinity();
+        op_id best_op;
+        int best_start = 0;
+        frames best_frames;
+        for (const op_id o : open) {
+            for (int s = f.lo[o.value()]; s <= f.hi[o.value()]; ++s) {
+                frames trial = f;
+                trial.lo[o.value()] = s;
+                trial.hi[o.value()] = s;
+                if (!propagate(graph, latencies, topo, trial)) {
+                    continue;
+                }
+                const double cost =
+                    distribution_cost(graph, latencies, trial, horizon);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best_op = o;
+                    best_start = s;
+                    best_frames = std::move(trial);
+                }
+            }
+        }
+        // Fixing any op at its ASAP time is always feasible, so a candidate
+        // was found.
+        MWL_ASSERT(best_op.is_valid());
+        static_cast<void>(best_start);
+        f = std::move(best_frames);
+    }
+
+    return f.lo;
+}
+
+} // namespace mwl

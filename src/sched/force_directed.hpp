@@ -1,0 +1,32 @@
+// Time-constrained force-directed scheduling (Paulin & Knight), the
+// classic wordlength-blind scheduler used as stage 1 of the two-stage
+// baseline [4]: given a latency budget, spread operations inside their
+// ASAP/ALAP frames so that the expected number of concurrently active
+// operations per type is as flat as possible, maximising later sharing.
+//
+// We implement the lookahead-variance formulation: fixing operation o at
+// start s is scored by the sum over types y and steps t of DG_y(t)^2 after
+// the fix (DG = distribution graph of expected occupancy); the lowest score
+// wins. This minimises the same objective as Paulin's self+neighbour forces
+// and is deterministic.
+
+#ifndef MWL_SCHED_FORCE_DIRECTED_HPP
+#define MWL_SCHED_FORCE_DIRECTED_HPP
+
+#include "dfg/sequencing_graph.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mwl {
+
+/// Schedule every operation within `horizon` control steps (throws
+/// `infeasible_error` if `horizon` is below the critical-path length under
+/// `latencies`). Returns per-operation start times.
+[[nodiscard]] std::vector<int> force_directed_schedule(
+    const sequencing_graph& graph, std::span<const int> latencies,
+    int horizon);
+
+} // namespace mwl
+
+#endif // MWL_SCHED_FORCE_DIRECTED_HPP

@@ -1,0 +1,125 @@
+#include "sched/incomplete_scheduler.hpp"
+
+#include "dfg/analysis.hpp"
+#include "sched/priorities.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+namespace mwl {
+
+incomplete_schedule_result schedule_incomplete(
+    const wordlength_compatibility_graph& wcg, int capacity)
+{
+    require(capacity >= 1, "scheduling-set member capacity must be >= 1");
+
+    const sequencing_graph& graph = wcg.graph();
+    incomplete_schedule_result result;
+    result.start.assign(graph.size(), -1);
+    if (graph.empty()) {
+        return result;
+    }
+
+    const scheduling_set_result cover = min_scheduling_set(wcg);
+    result.scheduling_set = cover.members;
+    result.cover_proven_minimum = cover.proven_minimum;
+    const std::size_t n_members = cover.members.size();
+    MWL_ASSERT(n_members >= 1);
+
+    // S(o): indices into cover.members compatible with o.
+    std::vector<std::vector<std::size_t>> members_of_op(graph.size());
+    for (const op_id o : graph.all_ops()) {
+        for (std::size_t mi = 0; mi < n_members; ++mi) {
+            if (wcg.compatible(o, cover.members[mi])) {
+                members_of_op[o.value()].push_back(mi);
+            }
+        }
+        MWL_ASSERT(!members_of_op[o.value()].empty()); // S is a cover
+    }
+
+    // Exact fractional accounting: scale everything by the lcm of the
+    // |S(o)| values, so each op contributes scale/|S(o)| integer units to
+    // each of its members, against a budget of capacity*scale per member.
+    std::int64_t scale = 1;
+    for (const auto& members : members_of_op) {
+        scale = std::lcm(scale, static_cast<std::int64_t>(members.size()));
+    }
+    const std::int64_t budget = static_cast<std::int64_t>(capacity) * scale;
+
+    const std::vector<int> upper = wcg.latency_upper_bounds();
+    const std::vector<int> priority = critical_path_priorities(graph, upper);
+
+    int horizon = 0;
+    int max_latency = 0;
+    for (const int latency : upper) {
+        horizon += latency;
+        max_latency = std::max(max_latency, latency);
+    }
+    horizon += max_latency;
+    // usage[mi][t]: scaled usage of member mi during step t.
+    std::vector<std::vector<std::int64_t>> usage(
+        n_members,
+        std::vector<std::int64_t>(static_cast<std::size_t>(horizon), 0));
+
+    std::size_t scheduled = 0;
+    for (int t = 0; scheduled < graph.size(); ++t) {
+        MWL_ASSERT(t < horizon);
+        std::vector<op_id> ready;
+        for (const op_id o : graph.all_ops()) {
+            if (result.start[o.value()] >= 0) {
+                continue;
+            }
+            bool ok = true;
+            for (const op_id p : graph.predecessors(o)) {
+                const int ps = result.start[p.value()];
+                if (ps < 0 || ps + upper[p.value()] > t) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                ready.push_back(o);
+            }
+        }
+        std::sort(ready.begin(), ready.end(), [&](op_id a, op_id b) {
+            if (priority[a.value()] != priority[b.value()]) {
+                return priority[a.value()] > priority[b.value()];
+            }
+            return a < b;
+        });
+
+        for (const op_id o : ready) {
+            const auto& members = members_of_op[o.value()];
+            const std::int64_t share =
+                scale / static_cast<std::int64_t>(members.size());
+            const int lat = upper[o.value()];
+            bool fits = true;
+            for (const std::size_t mi : members) {
+                for (int u = t; u < t + lat && fits; ++u) {
+                    fits = usage[mi][static_cast<std::size_t>(u)] + share <=
+                           budget;
+                }
+                if (!fits) {
+                    break;
+                }
+            }
+            if (!fits) {
+                continue;
+            }
+            result.start[o.value()] = t;
+            ++scheduled;
+            for (const std::size_t mi : members) {
+                for (int u = t; u < t + lat; ++u) {
+                    usage[mi][static_cast<std::size_t>(u)] += share;
+                }
+            }
+        }
+    }
+
+    result.length = schedule_length(graph, upper, result.start);
+    return result;
+}
+
+} // namespace mwl

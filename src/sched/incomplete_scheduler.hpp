@@ -1,0 +1,44 @@
+// Scheduling with incomplete wordlength information (paper §2.2).
+//
+// The scheduler is a latency-weighted list scheduler whose resource test is
+// the paper's Eqn. 3 (reconstructed as Eqn. 3' -- see DESIGN.md §2.2):
+// given the minimum-cardinality scheduling set S covering all operations,
+// for every member s of S and control step t
+//
+//     sum over o in O(s) executing at t of  1/|S(o)|   <=   capacity(s)
+//
+// where S(o) = members of S compatible with o. Operations compatible with
+// several members share their usage equally between them (the "division" in
+// the paper). The accounting is done in exact integer arithmetic (scaled by
+// the lcm of the |S(o)| values) so no epsilon tuning can change a schedule.
+//
+// With capacity 1 per member this is DPAlloc's maximal-sharing mode; the
+// capacity parameter exists for the driver's escalation path (DESIGN.md,
+// "completion for parallelism-starved instances").
+
+#ifndef MWL_SCHED_INCOMPLETE_SCHEDULER_HPP
+#define MWL_SCHED_INCOMPLETE_SCHEDULER_HPP
+
+#include "sched/scheduling_set.hpp"
+#include "wcg/wcg.hpp"
+
+#include <vector>
+
+namespace mwl {
+
+struct incomplete_schedule_result {
+    std::vector<int> start;             ///< start step per operation
+    int length = 0;                     ///< makespan under upper-bound latencies
+    std::vector<res_id> scheduling_set; ///< the S that was used
+    bool cover_proven_minimum = true;
+};
+
+/// Schedule all operations of `wcg.graph()` using the latency upper bounds
+/// L_o derived from the current H edges. `capacity` is the number of
+/// resource instances each scheduling-set member may represent (>= 1).
+[[nodiscard]] incomplete_schedule_result schedule_incomplete(
+    const wordlength_compatibility_graph& wcg, int capacity = 1);
+
+} // namespace mwl
+
+#endif // MWL_SCHED_INCOMPLETE_SCHEDULER_HPP

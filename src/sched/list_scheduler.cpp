@@ -1,0 +1,103 @@
+#include "sched/list_scheduler.hpp"
+
+#include "dfg/analysis.hpp"
+#include "sched/priorities.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+
+list_schedule_result list_schedule(const sequencing_graph& graph,
+                                   std::span<const int> latencies,
+                                   const type_limits& limits)
+{
+    require(latencies.size() == graph.size(),
+            "latency vector size must equal the number of operations");
+    require(limits.add >= 1 && limits.mul >= 1,
+            "resource limits must be at least 1");
+    for (const int latency : latencies) {
+        require(latency >= 1, "operation latencies must be >= 1");
+    }
+
+    list_schedule_result result;
+    result.start.assign(graph.size(), -1);
+    if (graph.empty()) {
+        return result;
+    }
+
+    const std::vector<int> priority =
+        critical_path_priorities(graph, latencies);
+
+    // running[y][t]: type-y operations executing during step t.
+    // Horizon bound: serialising everything is always feasible; the extra
+    // max-latency slack keeps occupancy probes in range near the end.
+    int horizon = 0;
+    int max_latency = 0;
+    for (const int latency : latencies) {
+        horizon += latency;
+        max_latency = std::max(max_latency, latency);
+    }
+    horizon += max_latency;
+    std::vector<std::vector<int>> running(
+        2, std::vector<int>(static_cast<std::size_t>(horizon), 0));
+    const auto kind_index = [](op_kind kind) {
+        return kind == op_kind::add ? std::size_t{0} : std::size_t{1};
+    };
+
+    std::size_t scheduled = 0;
+    for (int t = 0; scheduled < graph.size(); ++t) {
+        MWL_ASSERT(t < horizon);
+        // Ready: unscheduled, every predecessor finished by t.
+        std::vector<op_id> ready;
+        for (const op_id o : graph.all_ops()) {
+            if (result.start[o.value()] >= 0) {
+                continue;
+            }
+            bool ok = true;
+            for (const op_id p : graph.predecessors(o)) {
+                const int ps = result.start[p.value()];
+                if (ps < 0 || ps + latencies[p.value()] > t) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                ready.push_back(o);
+            }
+        }
+        std::sort(ready.begin(), ready.end(), [&](op_id a, op_id b) {
+            if (priority[a.value()] != priority[b.value()]) {
+                return priority[a.value()] > priority[b.value()];
+            }
+            return a < b;
+        });
+
+        for (const op_id o : ready) {
+            const op_kind kind = graph.shape(o).kind();
+            const std::size_t y = kind_index(kind);
+            const int limit = limits.of(kind);
+            const int lat = latencies[o.value()];
+            bool fits = true;
+            for (int u = t; u < t + lat; ++u) {
+                if (running[y][static_cast<std::size_t>(u)] + 1 > limit) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (!fits) {
+                continue;
+            }
+            result.start[o.value()] = t;
+            ++scheduled;
+            for (int u = t; u < t + lat; ++u) {
+                ++running[y][static_cast<std::size_t>(u)];
+            }
+        }
+    }
+
+    result.length = schedule_length(graph, latencies, result.start);
+    return result;
+}
+
+} // namespace mwl

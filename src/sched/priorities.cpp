@@ -1,0 +1,27 @@
+#include "sched/priorities.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+
+std::vector<int> critical_path_priorities(const sequencing_graph& graph,
+                                          std::span<const int> latencies)
+{
+    require(latencies.size() == graph.size(),
+            "latency vector size must equal the number of operations");
+    std::vector<int> priority(graph.size(), 0);
+    const std::vector<op_id> order = graph.topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const op_id o = *it;
+        int best_succ = 0;
+        for (const op_id s : graph.successors(o)) {
+            best_succ = std::max(best_succ, priority[s.value()]);
+        }
+        priority[o.value()] = latencies[o.value()] + best_succ;
+    }
+    return priority;
+}
+
+} // namespace mwl

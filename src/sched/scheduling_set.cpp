@@ -1,0 +1,279 @@
+#include "sched/scheduling_set.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mwl {
+namespace {
+
+// Fixed-width dynamic bitset over 64-bit words, just big enough for |O|.
+class bitset64 {
+public:
+    explicit bitset64(std::size_t bits)
+        : bits_(bits), words_((bits + 63) / 64, 0)
+    {
+    }
+
+    void set(std::size_t i) { words_[i / 64] |= (std::uint64_t{1} << (i % 64)); }
+
+    [[nodiscard]] bool test(std::size_t i) const
+    {
+        return (words_[i / 64] >> (i % 64)) & 1;
+    }
+
+    [[nodiscard]] std::size_t count() const
+    {
+        std::size_t total = 0;
+        for (const std::uint64_t w : words_) {
+            total += static_cast<std::size_t>(__builtin_popcountll(w));
+        }
+        return total;
+    }
+
+    [[nodiscard]] bool is_subset_of(const bitset64& other) const
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            if ((words_[i] & ~other.words_[i]) != 0) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /// Number of bits set in (*this & ~mask): how much this set would
+    /// newly cover given already-covered `mask`.
+    [[nodiscard]] std::size_t count_minus(const bitset64& mask) const
+    {
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            total += static_cast<std::size_t>(
+                __builtin_popcountll(words_[i] & ~mask.words_[i]));
+        }
+        return total;
+    }
+
+    void or_with(const bitset64& other)
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            words_[i] |= other.words_[i];
+        }
+    }
+
+    [[nodiscard]] bool all_set() const
+    {
+        std::size_t remaining = bits_;
+        for (const std::uint64_t w : words_) {
+            const std::size_t in_word = std::min<std::size_t>(remaining, 64);
+            const std::uint64_t full =
+                in_word == 64 ? ~std::uint64_t{0}
+                              : ((std::uint64_t{1} << in_word) - 1);
+            if ((w & full) != full) {
+                return false;
+            }
+            remaining -= in_word;
+        }
+        return true;
+    }
+
+    /// Index of the first zero bit, or bits_ if none.
+    [[nodiscard]] std::size_t first_unset() const
+    {
+        for (std::size_t i = 0; i < bits_; ++i) {
+            if (!test(i)) {
+                return i;
+            }
+        }
+        return bits_;
+    }
+
+    [[nodiscard]] std::size_t size() const { return bits_; }
+
+private:
+    std::size_t bits_;
+    std::vector<std::uint64_t> words_;
+};
+
+struct candidate {
+    res_id id;
+    bitset64 coverage;
+    double area;
+};
+
+std::vector<std::size_t> greedy_cover(const std::vector<candidate>& cands,
+                                      std::size_t universe)
+{
+    bitset64 covered(universe);
+    std::vector<std::size_t> chosen;
+    while (!covered.all_set()) {
+        std::size_t best = cands.size();
+        std::size_t best_gain = 0;
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            const std::size_t gain = cands[i].coverage.count_minus(covered);
+            const bool better =
+                gain > best_gain ||
+                (gain == best_gain && gain > 0 && best < cands.size() &&
+                 cands[i].area < cands[best].area);
+            if (better) {
+                best = i;
+                best_gain = gain;
+            }
+        }
+        MWL_ASSERT(best < cands.size() && best_gain > 0);
+        chosen.push_back(best);
+        covered.or_with(cands[best].coverage);
+    }
+    return chosen;
+}
+
+struct search_state {
+    const std::vector<candidate>* cands = nullptr;
+    // covers_of_op[o]: candidate indices covering operation o.
+    std::vector<std::vector<std::size_t>> covers_of_op;
+    std::size_t max_set_size = 1;
+    std::size_t node_cap = 0;
+    std::size_t nodes = 0;
+    bool capped = false;
+    std::vector<std::size_t> best;
+    std::vector<std::size_t> current;
+};
+
+void branch(search_state& st, const bitset64& covered)
+{
+    if (++st.nodes > st.node_cap) {
+        st.capped = true;
+        return;
+    }
+    if (covered.all_set()) {
+        if (st.current.size() < st.best.size()) {
+            st.best = st.current;
+        }
+        return;
+    }
+    // Lower bound: every chosen set covers at most max_set_size elements.
+    const std::size_t uncovered = covered.size() - covered.count();
+    const std::size_t lower =
+        (uncovered + st.max_set_size - 1) / st.max_set_size;
+    if (st.current.size() + lower >= st.best.size()) {
+        return;
+    }
+
+    // Branch on the uncovered operation with the fewest remaining covers:
+    // smallest branching factor first.
+    std::size_t pivot = covered.size();
+    std::size_t pivot_options = static_cast<std::size_t>(-1);
+    for (std::size_t o = 0; o < covered.size(); ++o) {
+        if (covered.test(o)) {
+            continue;
+        }
+        if (st.covers_of_op[o].size() < pivot_options) {
+            pivot = o;
+            pivot_options = st.covers_of_op[o].size();
+        }
+    }
+    MWL_ASSERT(pivot < covered.size());
+
+    for (const std::size_t ci : st.covers_of_op[pivot]) {
+        bitset64 next = covered;
+        next.or_with((*st.cands)[ci].coverage);
+        st.current.push_back(ci);
+        branch(st, next);
+        st.current.pop_back();
+        if (st.capped) {
+            return;
+        }
+    }
+}
+
+} // namespace
+
+scheduling_set_result
+min_scheduling_set(const wordlength_compatibility_graph& wcg,
+                   std::size_t node_cap)
+{
+    const std::size_t n_ops = wcg.graph().size();
+    scheduling_set_result result;
+    if (n_ops == 0) {
+        return result;
+    }
+
+    // Build candidates, dropping resources whose coverage is dominated by
+    // another resource (subset coverage). For equal coverage keep the
+    // smaller-area resource; ties broken on res_id for determinism.
+    std::vector<candidate> cands;
+    for (const res_id r : wcg.all_resources()) {
+        const auto ops = wcg.ops_for(r);
+        if (ops.empty()) {
+            continue;
+        }
+        bitset64 cover(n_ops);
+        for (const op_id o : ops) {
+            cover.set(o.value());
+        }
+        cands.push_back(candidate{r, std::move(cover), wcg.area(r)});
+    }
+
+    std::vector<bool> dominated(cands.size(), false);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        for (std::size_t j = 0; j < cands.size(); ++j) {
+            if (i == j || dominated[i] || dominated[j]) {
+                continue;
+            }
+            if (!cands[i].coverage.is_subset_of(cands[j].coverage)) {
+                continue;
+            }
+            const bool equal =
+                cands[j].coverage.is_subset_of(cands[i].coverage);
+            if (!equal) {
+                dominated[i] = true;
+            } else if (cands[i].area > cands[j].area ||
+                       (cands[i].area == cands[j].area &&
+                        cands[i].id > cands[j].id)) {
+                dominated[i] = true;
+            }
+        }
+    }
+    std::vector<candidate> kept;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!dominated[i]) {
+            kept.push_back(std::move(cands[i]));
+        }
+    }
+
+    // Every operation retains at least one H edge, so a cover exists.
+    search_state st;
+    st.cands = &kept;
+    st.node_cap = node_cap;
+    st.covers_of_op.resize(n_ops);
+    for (std::size_t ci = 0; ci < kept.size(); ++ci) {
+        st.max_set_size = std::max(st.max_set_size, kept[ci].coverage.count());
+        for (std::size_t o = 0; o < n_ops; ++o) {
+            if (kept[ci].coverage.test(o)) {
+                st.covers_of_op[o].push_back(ci);
+            }
+        }
+    }
+    for (std::size_t o = 0; o < n_ops; ++o) {
+        MWL_ASSERT(!st.covers_of_op[o].empty());
+        // Try large sets first: finds good covers early, improving pruning.
+        std::sort(st.covers_of_op[o].begin(), st.covers_of_op[o].end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return kept[a].coverage.count() >
+                             kept[b].coverage.count();
+                  });
+    }
+
+    st.best = greedy_cover(kept, n_ops);
+    branch(st, bitset64(n_ops));
+
+    result.proven_minimum = !st.capped;
+    result.members.reserve(st.best.size());
+    for (const std::size_t ci : st.best) {
+        result.members.push_back(kept[ci].id);
+    }
+    std::sort(result.members.begin(), result.members.end());
+    return result;
+}
+
+} // namespace mwl

@@ -1,0 +1,39 @@
+// Minimum-cardinality scheduling set (paper §2.2).
+//
+// "Before any scheduling, a minimum cardinality subset S of R is found such
+// that every operation has an H edge to some member of S."  The paper does
+// not give a method; minimum set cover is NP-hard, but the instances here
+// are tiny (|O| <= tens, |R| <= a few hundred), so we solve it *exactly*
+// with branch and bound seeded by Chvátal's greedy bound, after removing
+// coverage-dominated resources. A node cap keeps the worst case polynomial
+// in practice; if it is ever hit we fall back to the greedy cover (still a
+// valid scheduling set, merely possibly non-minimum) -- the flag in the
+// result records which happened.
+
+#ifndef MWL_SCHED_SCHEDULING_SET_HPP
+#define MWL_SCHED_SCHEDULING_SET_HPP
+
+#include "support/ids.hpp"
+#include "wcg/wcg.hpp"
+
+#include <vector>
+
+namespace mwl {
+
+struct scheduling_set_result {
+    /// Members of S, ascending res_id.
+    std::vector<res_id> members;
+    /// True if the branch-and-bound proved minimality (always true in the
+    /// paper-scale experiments).
+    bool proven_minimum = true;
+};
+
+/// Compute the scheduling set over the current H edges of `wcg`.
+/// `node_cap` bounds the branch-and-bound search tree size.
+[[nodiscard]] scheduling_set_result
+min_scheduling_set(const wordlength_compatibility_graph& wcg,
+                   std::size_t node_cap = 200000);
+
+} // namespace mwl
+
+#endif // MWL_SCHED_SCHEDULING_SET_HPP

@@ -1,0 +1,155 @@
+#include "sim/simulator.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace mwl {
+namespace {
+
+/// Fixed-point semantics of one operation at its *native* shape: operands
+/// are wrapped to their operand widths, the result to the result width
+/// (adders wrap at their own width; multipliers keep the full product).
+std::int64_t apply_op(const op_shape& shape, std::int64_t a, std::int64_t b)
+{
+    switch (shape.kind()) {
+    case op_kind::add: {
+        const std::int64_t x = wrap_to_width(a, shape.width_a());
+        const std::int64_t y = wrap_to_width(b, shape.width_a());
+        return wrap_to_width(x + y, shape.width_a());
+    }
+    case op_kind::mul: {
+        const std::int64_t x = wrap_to_width(a, shape.width_a());
+        const std::int64_t y = wrap_to_width(b, shape.width_b());
+        return wrap_to_width(x * y, shape.width_a() + shape.width_b());
+    }
+    }
+    MWL_ASSERT(false && "unreachable");
+    return 0;
+}
+
+/// Gather the two operands of `o`: predecessors first (id order, as the
+/// graph stores them), then external values.
+std::pair<std::int64_t, std::int64_t> operands_of(
+    const sequencing_graph& graph, op_id o,
+    const std::vector<std::int64_t>& value_of_op, const sim_inputs& external)
+{
+    const auto preds = graph.predecessors(o);
+    require(preds.size() <= 2, "operations take at most two operands");
+    const std::size_t needed_external = 2 - preds.size();
+    require(o.value() < external.size() ||
+                needed_external == 0,
+            "missing external operands for op " + std::to_string(o.value()));
+    const auto& ext =
+        o.value() < external.size()
+            ? external[o.value()]
+            : std::vector<std::int64_t>{};
+    require(ext.size() == needed_external,
+            "op " + std::to_string(o.value()) + " needs " +
+                std::to_string(needed_external) + " external operand(s), " +
+                std::to_string(ext.size()) + " given");
+
+    std::int64_t ops[2] = {0, 0};
+    std::size_t ei = 0;
+    for (std::size_t p = 0; p < 2; ++p) {
+        if (p < preds.size()) {
+            ops[p] = value_of_op[preds[p].value()];
+        } else {
+            ops[p] = ext[ei++];
+        }
+    }
+    return {ops[0], ops[1]};
+}
+
+} // namespace
+
+std::int64_t wrap_to_width(std::int64_t value, int width)
+{
+    MWL_ASSERT(width >= 1 && width < 63);
+    const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+    std::uint64_t u = static_cast<std::uint64_t>(value) & mask;
+    // Sign-extend from bit width-1.
+    const std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+    if (u & sign_bit) {
+        u |= ~mask;
+    }
+    return static_cast<std::int64_t>(u);
+}
+
+sim_result reference_evaluate(const sequencing_graph& graph,
+                              const sim_inputs& external)
+{
+    sim_result result;
+    result.value_of_op.assign(graph.size(), 0);
+    for (const op_id o : graph.topological_order()) {
+        const auto [a, b] =
+            operands_of(graph, o, result.value_of_op, external);
+        result.value_of_op[o.value()] = apply_op(graph.shape(o), a, b);
+    }
+    return result;
+}
+
+sim_result simulate_datapath(const sequencing_graph& graph,
+                             const datapath& path, const sim_inputs& external)
+{
+    require(path.start.size() == graph.size() &&
+                path.instance_of_op.size() == graph.size(),
+            "datapath does not match graph");
+
+    sim_result result;
+    result.value_of_op.assign(graph.size(), 0);
+    std::vector<bool> computed(graph.size(), false);
+    // busy_until[i]: first cycle instance i is free again.
+    std::vector<int> busy_until(path.instances.size(), 0);
+
+    // Operations in start-time order (ties by id).
+    std::vector<op_id> order = graph.all_ops();
+    std::sort(order.begin(), order.end(), [&](op_id a, op_id b) {
+        if (path.start[a.value()] != path.start[b.value()]) {
+            return path.start[a.value()] < path.start[b.value()];
+        }
+        return a < b;
+    });
+
+    for (const op_id o : order) {
+        const int start = path.start[o.value()];
+        const std::size_t ii = path.instance_of_op[o.value()];
+        require(ii < path.instances.size(), "op bound to unknown instance");
+        const datapath_instance& inst = path.instances[ii];
+
+        if (!inst.shape.covers(graph.shape(o))) {
+            throw error("sim: op " + std::to_string(o.value()) +
+                        " dispatched to incompatible instance " +
+                        inst.shape.to_string());
+        }
+        if (busy_until[ii] > start) {
+            throw error("sim: instance busy at cycle " +
+                        std::to_string(start) + " for op " +
+                        std::to_string(o.value()));
+        }
+        for (const op_id p : graph.predecessors(o)) {
+            const int ready =
+                path.start[p.value()] + path.bound_latency(p);
+            if (!computed[p.value()] || ready > start) {
+                throw error("sim: operand of op " +
+                            std::to_string(o.value()) +
+                            " not ready at cycle " + std::to_string(start));
+            }
+        }
+
+        const auto [a, b] =
+            operands_of(graph, o, result.value_of_op, external);
+        // Executing on a wider resource yields the same integer result as
+        // the native shape: inputs are wrapped at the *operation's* widths
+        // upstream of the (wider) unit.
+        result.value_of_op[o.value()] = apply_op(graph.shape(o), a, b);
+        computed[o.value()] = true;
+        busy_until[ii] = start + inst.latency;
+        result.cycles =
+            std::max(result.cycles, start + inst.latency);
+    }
+    return result;
+}
+
+} // namespace mwl

@@ -1,0 +1,53 @@
+// Cycle-accurate fixed-point execution of an allocated datapath.
+//
+// A second, *executable* correctness check on top of the structural
+// validator: the simulator walks the schedule cycle by cycle, dispatches
+// each operation to its bound resource instance at its start step, refuses
+// to read operands that have not been produced yet or to double-book an
+// instance, and applies fixed-point semantics (two's-complement wrap at
+// the operation's own wordlength). Because a wider resource computes the
+// same integer result as the operation's native width, a key theorem holds
+// and is tested: *allocation never changes values* -- any two valid
+// datapaths for the same graph and inputs produce identical results.
+
+#ifndef MWL_SIM_SIMULATOR_HPP
+#define MWL_SIM_SIMULATOR_HPP
+
+#include "core/datapath.hpp"
+#include "dfg/sequencing_graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mwl {
+
+/// External operand values. Operand port p of operation o takes the p-th
+/// predecessor's result; ports beyond the predecessor count take the next
+/// unused entry of `external[o]` (so sources provide both operands,
+/// single-predecessor adders provide one, etc.).
+using sim_inputs = std::vector<std::vector<std::int64_t>>;
+
+struct sim_result {
+    std::vector<std::int64_t> value_of_op; ///< result per op id
+    int cycles = 0;                        ///< executed schedule length
+};
+
+/// Truncate `value` to `width`-bit two's complement.
+[[nodiscard]] std::int64_t wrap_to_width(std::int64_t value, int width);
+
+/// Reference semantics: evaluate the graph in topological order, no
+/// schedule involved. Throws `precondition_error` if `external` does not
+/// supply exactly the operands the graph structure requires.
+[[nodiscard]] sim_result reference_evaluate(const sequencing_graph& graph,
+                                            const sim_inputs& external);
+
+/// Execute `path` cycle by cycle. Throws `mwl::error` on any timing or
+/// structural violation encountered while executing (operand not ready,
+/// instance busy, op bound to an incompatible instance).
+[[nodiscard]] sim_result simulate_datapath(const sequencing_graph& graph,
+                                           const datapath& path,
+                                           const sim_inputs& external);
+
+} // namespace mwl
+
+#endif // MWL_SIM_SIMULATOR_HPP

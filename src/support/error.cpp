@@ -1,0 +1,32 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mwl {
+
+void require(bool condition, const std::string& message)
+{
+    if (!condition) {
+        throw precondition_error(message);
+    }
+}
+
+void require_feasible(bool condition, const std::string& message)
+{
+    if (!condition) {
+        throw infeasible_error(message);
+    }
+}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line)
+{
+    std::fprintf(stderr, "mwl internal invariant violated: %s (%s:%d)\n",
+                 expr, file, line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace mwl

@@ -1,0 +1,57 @@
+// Error handling primitives shared by every mwl library.
+//
+// Policy (follows the C++ Core Guidelines E.* rules):
+//  * `mwl::error` and subclasses signal violated *preconditions of the
+//    public API* and infeasible problem instances -- conditions a caller
+//    can anticipate and handle.
+//  * `check()` / `require()` are the throwing entry points; internal
+//    invariants use `MWL_ASSERT`, which terminates, because an internal
+//    invariant violation is a bug, not an event.
+
+#ifndef MWL_SUPPORT_ERROR_HPP
+#define MWL_SUPPORT_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace mwl {
+
+/// Base class of every exception thrown by the mwl libraries.
+class error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// A caller violated a documented precondition of a public API.
+class precondition_error : public error {
+public:
+    using error::error;
+};
+
+/// The problem instance admits no solution (e.g. latency constraint below
+/// the minimum achievable latency).
+class infeasible_error : public error {
+public:
+    using error::error;
+};
+
+/// Throw `precondition_error` with `message` unless `condition` holds.
+void require(bool condition, const std::string& message);
+
+/// Throw `infeasible_error` with `message` unless `condition` holds.
+void require_feasible(bool condition, const std::string& message);
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+} // namespace detail
+
+} // namespace mwl
+
+/// Internal invariant check: terminates with a diagnostic on failure.
+/// Active in all build types -- allocation problems are small and the cost
+/// of checking is negligible next to the cost of a silent wrong answer.
+#define MWL_ASSERT(expr)                                                    \
+    ((expr) ? static_cast<void>(0)                                          \
+            : ::mwl::detail::assert_fail(#expr, __FILE__, __LINE__))
+
+#endif // MWL_SUPPORT_ERROR_HPP

@@ -1,0 +1,76 @@
+// Strongly typed index handles.
+//
+// Operations, resource types and clique indices are all "small integers";
+// using raw `std::size_t` for each invites silent cross-indexing bugs.
+// `strong_id<Tag>` is a zero-cost wrapper giving each index space its own
+// type, ordered and hashable so it works as a key in standard containers.
+
+#ifndef MWL_SUPPORT_IDS_HPP
+#define MWL_SUPPORT_IDS_HPP
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace mwl {
+
+template <typename Tag>
+class strong_id {
+public:
+    using underlying_type = std::size_t;
+
+    constexpr strong_id() = default;
+    constexpr explicit strong_id(underlying_type value) : value_(value) {}
+
+    [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+    /// Sentinel distinct from every id produced by the libraries.
+    [[nodiscard]] static constexpr strong_id invalid()
+    {
+        return strong_id(std::numeric_limits<underlying_type>::max());
+    }
+
+    [[nodiscard]] constexpr bool is_valid() const
+    {
+        return value_ != invalid().value_;
+    }
+
+    friend constexpr auto operator<=>(strong_id, strong_id) = default;
+
+private:
+    underlying_type value_ = invalid().value_;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, strong_id<Tag> id)
+{
+    if (!id.is_valid()) {
+        return os << "<invalid>";
+    }
+    return os << id.value();
+}
+
+struct op_tag {};
+struct resource_tag {};
+struct clique_tag {};
+
+/// Identifies one operation (vertex of the sequencing graph).
+using op_id = strong_id<op_tag>;
+/// Identifies one resource-wordlength type (e.g. "20x18-bit multiplier").
+using res_id = strong_id<resource_tag>;
+/// Identifies one clique / physical resource instance in a binding.
+using clique_id = strong_id<clique_tag>;
+
+} // namespace mwl
+
+template <typename Tag>
+struct std::hash<mwl::strong_id<Tag>> {
+    std::size_t operator()(mwl::strong_id<Tag> id) const noexcept
+    {
+        return std::hash<std::size_t>{}(id.value());
+    }
+};
+
+#endif // MWL_SUPPORT_IDS_HPP

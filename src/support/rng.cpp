@@ -1,0 +1,88 @@
+#include "support/rng.hpp"
+
+#include "support/error.hpp"
+
+namespace mwl {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+rng::rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+        word = splitmix64(sm);
+    }
+}
+
+rng::result_type rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t rng::uniform(std::uint64_t lo, std::uint64_t hi)
+{
+    MWL_ASSERT(lo <= hi);
+    const std::uint64_t span = hi - lo;
+    if (span == max()) {
+        return (*this)();
+    }
+    // Lemire-style rejection sampling: unbiased and fast.
+    const std::uint64_t bound = span + 1;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t draw = (*this)();
+        if (draw >= threshold) {
+            return lo + draw % bound;
+        }
+    }
+}
+
+int rng::uniform_int(int lo, int hi)
+{
+    MWL_ASSERT(0 <= lo && lo <= hi);
+    return static_cast<int>(uniform(static_cast<std::uint64_t>(lo),
+                                    static_cast<std::uint64_t>(hi)));
+}
+
+double rng::uniform_real()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool rng::chance(double p)
+{
+    return uniform_real() < p;
+}
+
+rng rng::fork(std::uint64_t salt)
+{
+    return rng((*this)() ^ (salt * 0x9e3779b97f4a7c15ULL));
+}
+
+} // namespace mwl

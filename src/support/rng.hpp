@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// The evaluation regenerates corpora of random sequencing graphs; results
+// must be bit-reproducible across standard libraries, so we implement the
+// generator (xoshiro256**) and the integer/real draws ourselves instead of
+// relying on `std::uniform_int_distribution`, whose output is
+// implementation-defined.
+
+#ifndef MWL_SUPPORT_RNG_HPP
+#define MWL_SUPPORT_RNG_HPP
+
+#include <cstdint>
+
+namespace mwl {
+
+/// xoshiro256** seeded via splitmix64. Satisfies
+/// std::uniform_random_bit_generator.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    [[nodiscard]] static constexpr result_type min() { return 0; }
+    [[nodiscard]] static constexpr result_type max()
+    {
+        return ~static_cast<result_type>(0);
+    }
+
+    result_type operator()();
+
+    /// Uniform draw from the inclusive range [lo, hi]. Precondition: lo <= hi.
+    [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+    /// Uniform draw from [lo, hi] as int. Precondition: 0 <= lo <= hi.
+    [[nodiscard]] int uniform_int(int lo, int hi);
+
+    /// Uniform real in [0, 1).
+    [[nodiscard]] double uniform_real();
+
+    /// Bernoulli draw with probability `p` of returning true.
+    [[nodiscard]] bool chance(double p);
+
+    /// Derive an independent stream for a sub-experiment; deterministic in
+    /// (current seed material, salt).
+    [[nodiscard]] rng fork(std::uint64_t salt);
+
+private:
+    std::uint64_t state_[4];
+};
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_RNG_HPP

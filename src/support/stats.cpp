@@ -1,0 +1,81 @@
+#include "support/stats.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mwl {
+
+double mean(std::span<const double> sample)
+{
+    if (sample.empty()) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (const double x : sample) {
+        sum += x;
+    }
+    return sum / static_cast<double>(sample.size());
+}
+
+double stddev(std::span<const double> sample)
+{
+    if (sample.size() < 2) {
+        return 0.0;
+    }
+    const double mu = mean(sample);
+    double accum = 0.0;
+    for (const double x : sample) {
+        accum += (x - mu) * (x - mu);
+    }
+    return std::sqrt(accum / static_cast<double>(sample.size() - 1));
+}
+
+double geomean(std::span<const double> sample)
+{
+    if (sample.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (const double x : sample) {
+        MWL_ASSERT(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+double percentile(std::span<const double> sample, double p)
+{
+    if (sample.empty()) {
+        return 0.0;
+    }
+    MWL_ASSERT(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double min_of(std::span<const double> sample)
+{
+    if (sample.empty()) {
+        return 0.0;
+    }
+    return *std::min_element(sample.begin(), sample.end());
+}
+
+double max_of(std::span<const double> sample)
+{
+    if (sample.empty()) {
+        return 0.0;
+    }
+    return *std::max_element(sample.begin(), sample.end());
+}
+
+} // namespace mwl

@@ -1,0 +1,31 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses to
+// aggregate per-graph results the way the paper does (per-point means over a
+// corpus of random designs).
+
+#ifndef MWL_SUPPORT_STATS_HPP
+#define MWL_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <span>
+
+namespace mwl {
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(std::span<const double> sample);
+
+/// Sample standard deviation (n-1 denominator); 0 for samples of size < 2.
+[[nodiscard]] double stddev(std::span<const double> sample);
+
+/// Geometric mean; requires every element > 0. 0 for an empty sample.
+[[nodiscard]] double geomean(std::span<const double> sample);
+
+/// Linear-interpolated percentile, p in [0, 100]. 0 for an empty sample.
+[[nodiscard]] double percentile(std::span<const double> sample, double p);
+
+/// Smallest / largest element; 0 for an empty sample.
+[[nodiscard]] double min_of(std::span<const double> sample);
+[[nodiscard]] double max_of(std::span<const double> sample);
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_STATS_HPP

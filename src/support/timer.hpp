@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for the execution-time experiments (Fig. 5, Table 2).
+
+#ifndef MWL_SUPPORT_TIMER_HPP
+#define MWL_SUPPORT_TIMER_HPP
+
+#include <chrono>
+
+namespace mwl {
+
+class stopwatch {
+public:
+    stopwatch() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_TIMER_HPP

@@ -1,0 +1,38 @@
+#include "tgff/corpus.hpp"
+
+#include "dfg/analysis.hpp"
+#include "support/error.hpp"
+
+#include <cmath>
+
+namespace mwl {
+
+std::vector<corpus_entry> make_corpus(std::size_t n_ops, std::size_t count,
+                                      const hardware_model& model,
+                                      std::uint64_t base_seed,
+                                      const tgff_options& prototype)
+{
+    tgff_options options = prototype;
+    options.n_ops = n_ops;
+
+    std::vector<corpus_entry> corpus;
+    corpus.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Seed derivation keeps entries independent of `count`: asking for
+        // more graphs later extends the corpus without changing a prefix.
+        rng random(base_seed * 0x100000001b3ULL + n_ops * 0x9e3779b9ULL + i);
+        corpus_entry entry{generate_tgff(options, random), 0};
+        entry.lambda_min = min_latency(entry.graph, model);
+        corpus.push_back(std::move(entry));
+    }
+    return corpus;
+}
+
+int relaxed_lambda(int lambda_min, double slack)
+{
+    require(slack >= 0.0, "slack must be non-negative");
+    return static_cast<int>(
+        std::ceil(static_cast<double>(lambda_min) * (1.0 + slack)));
+}
+
+} // namespace mwl

@@ -1,0 +1,38 @@
+// Experiment corpora: the paper's evaluation protocol in one place.
+//
+// "We have generated 200 random sequencing graphs for each problem size |O|
+// between 1 and 24 ... The minimum possible latency lambda_min was found for
+// each graph, from which various latency constraints were created,
+// corresponding to a 0% to 30% relaxation of lambda_min." (paper §3)
+
+#ifndef MWL_TGFF_CORPUS_HPP
+#define MWL_TGFF_CORPUS_HPP
+
+#include "model/hardware_model.hpp"
+#include "tgff/generator.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mwl {
+
+/// One benchmark instance: a graph and its minimum achievable latency.
+struct corpus_entry {
+    sequencing_graph graph;
+    int lambda_min = 0;
+};
+
+/// Deterministic corpus of `count` graphs with `n_ops` operations each.
+/// `base_seed` tags the experiment; entry i of a given (n_ops, base_seed)
+/// is identical across runs and platforms.
+[[nodiscard]] std::vector<corpus_entry> make_corpus(
+    std::size_t n_ops, std::size_t count, const hardware_model& model,
+    std::uint64_t base_seed, const tgff_options& prototype = {});
+
+/// Latency constraint for a given relaxation: ceil(lambda_min*(1+slack)).
+/// slack = 0.0 reproduces the paper's lambda = lambda_min point.
+[[nodiscard]] int relaxed_lambda(int lambda_min, double slack);
+
+} // namespace mwl
+
+#endif // MWL_TGFF_CORPUS_HPP

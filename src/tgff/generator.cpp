@@ -1,0 +1,53 @@
+#include "tgff/generator.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+namespace {
+
+op_shape random_shape(const tgff_options& options, rng& random)
+{
+    const bool is_mul = random.chance(options.mul_fraction);
+    if (is_mul) {
+        const int a = random.uniform_int(options.min_width, options.max_width);
+        const int b = random.uniform_int(options.min_width, options.max_width);
+        return op_shape::multiplier(a, b);
+    }
+    return op_shape::adder(
+        random.uniform_int(options.min_width, options.max_width));
+}
+
+} // namespace
+
+sequencing_graph generate_tgff(const tgff_options& options, rng& random)
+{
+    require(options.n_ops >= 1, "graph must have at least one operation");
+    require(options.min_width >= 1 && options.min_width <= options.max_width,
+            "invalid wordlength range");
+    require(options.mul_fraction >= 0.0 && options.mul_fraction <= 1.0,
+            "mul_fraction must be a probability");
+    require(options.attach_probability >= 0.0 &&
+                options.attach_probability <= 1.0,
+            "attach_probability must be a probability");
+    require(options.max_fan_in >= 1, "max_fan_in must be >= 1");
+
+    sequencing_graph graph;
+    for (std::size_t i = 0; i < options.n_ops; ++i) {
+        const op_id id = graph.add_operation(random_shape(options, random));
+        if (i == 0 || !random.chance(options.attach_probability)) {
+            continue; // independent root, a new TGFF chain
+        }
+        // Attach to up to max_fan_in distinct earlier operations. Sampling
+        // earlier ids only keeps the graph acyclic by construction.
+        const int fan_in = random.uniform_int(1, options.max_fan_in);
+        for (int k = 0; k < fan_in; ++k) {
+            const op_id pred(random.uniform(0, id.value() - 1));
+            graph.add_dependency(pred, id); // duplicates are idempotent
+        }
+    }
+    return graph;
+}
+
+} // namespace mwl

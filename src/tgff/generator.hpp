@@ -1,0 +1,44 @@
+// Random sequencing-graph generation "using an adaptation of the TGFF
+// algorithm [8]" (paper §3).
+//
+// TGFF (Dick, Rhodes, Wolf 1998) grows task graphs by repeated fan-out
+// expansion from a frontier, bounding in/out degree. This adaptation does
+// the same at operation granularity and then decorates each operation with
+// a kind (adder / multiplier) and uniformly drawn operand wordlengths --
+// the quantities that matter to the multiple-wordlength problem. All
+// randomness flows through mwl::rng, so a (seed, options) pair identifies a
+// graph bit-for-bit on every platform.
+
+#ifndef MWL_TGFF_GENERATOR_HPP
+#define MWL_TGFF_GENERATOR_HPP
+
+#include "dfg/sequencing_graph.hpp"
+#include "support/rng.hpp"
+
+#include <cstdint>
+
+namespace mwl {
+
+struct tgff_options {
+    std::size_t n_ops = 10;
+    /// Probability a generated operation is a multiplication.
+    double mul_fraction = 0.5;
+    /// Operand wordlengths are drawn uniformly from [min_width, max_width].
+    int min_width = 4;
+    int max_width = 24;
+    /// Maximum dependencies into a new operation.
+    int max_fan_in = 2;
+    /// Probability that a new operation attaches to existing operations at
+    /// all (otherwise it starts a new independent chain, TGFF-style).
+    double attach_probability = 0.85;
+};
+
+/// Generate one random sequencing graph. Throws `precondition_error` on
+/// nonsensical options (zero sizes, inverted width range, probabilities
+/// outside [0, 1]).
+[[nodiscard]] sequencing_graph generate_tgff(const tgff_options& options,
+                                             rng& random);
+
+} // namespace mwl
+
+#endif // MWL_TGFF_GENERATOR_HPP

@@ -1,0 +1,71 @@
+#include "wcg/chains.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+
+std::vector<timed_op> longest_chain(std::span<const timed_op> items)
+{
+    if (items.empty()) {
+        return {};
+    }
+
+    std::vector<timed_op> sorted(items.begin(), items.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const timed_op& a, const timed_op& b) {
+                  if (a.start != b.start) {
+                      return a.start < b.start;
+                  }
+                  if (a.finish() != b.finish()) {
+                      return a.finish() < b.finish();
+                  }
+                  return a.op < b.op;
+              });
+
+    // dp[i]: length of the longest chain ending at sorted[i];
+    // back[i]: predecessor index, or npos.
+    const std::size_t n = sorted.size();
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> dp(n, 1);
+    std::vector<std::size_t> back(n, npos);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (precedes(sorted[j], sorted[i]) && dp[j] + 1 > dp[i]) {
+                dp[i] = dp[j] + 1;
+                back[i] = j;
+            }
+        }
+    }
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        if (dp[i] > dp[best]) {
+            best = i;
+        }
+    }
+
+    std::vector<timed_op> chain;
+    for (std::size_t at = best; at != npos; at = back[at]) {
+        chain.push_back(sorted[at]);
+    }
+    std::reverse(chain.begin(), chain.end());
+    MWL_ASSERT(is_chain(chain));
+    return chain;
+}
+
+bool is_chain(std::span<const timed_op> items)
+{
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        for (std::size_t j = i + 1; j < items.size(); ++j) {
+            if (!precedes(items[i], items[j]) &&
+                !precedes(items[j], items[i])) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace mwl

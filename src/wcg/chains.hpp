@@ -1,0 +1,48 @@
+// Chain (clique) utilities on the schedule-derived orientation C.
+//
+// Once start times are fixed, "o1 completes before o2 starts" defines an
+// interval order on operations; C is its transitive orientation, and the
+// subgraph of G'(O, C) induced by any O(r) is a comparability graph whose
+// cliques are exactly chains of pairwise non-overlapping, ordered
+// operations (Golumbic [11]). Maximum cliques are therefore longest chains
+// and are found by a simple DP instead of general clique search -- the
+// linear-time observation the paper leans on in §2.3.
+
+#ifndef MWL_WCG_CHAINS_HPP
+#define MWL_WCG_CHAINS_HPP
+
+#include "support/ids.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mwl {
+
+/// One operation with its scheduled interval [start, start + latency).
+struct timed_op {
+    op_id op;
+    int start = 0;
+    int latency = 1;
+
+    [[nodiscard]] int finish() const { return start + latency; }
+};
+
+/// True iff a precedes b in C: a finishes no later than b starts.
+[[nodiscard]] inline bool precedes(const timed_op& a, const timed_op& b)
+{
+    return a.finish() <= b.start;
+}
+
+/// Maximum-cardinality chain among `items` under `precedes`. Deterministic:
+/// ties are broken towards earlier start, then smaller op id. Returns the
+/// chosen items in chain (time) order.
+[[nodiscard]] std::vector<timed_op> longest_chain(
+    std::span<const timed_op> items);
+
+/// True iff every pair of `items` is ordered by `precedes` one way or the
+/// other, i.e. the set is a clique of G'(O, C).
+[[nodiscard]] bool is_chain(std::span<const timed_op> items);
+
+} // namespace mwl
+
+#endif // MWL_WCG_CHAINS_HPP

@@ -1,0 +1,46 @@
+#include "wcg/resource_set.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mwl {
+
+std::vector<op_shape> extract_resource_types(std::span<const op_shape> shapes)
+{
+    // Closure under pairwise join. The join operation is associative,
+    // commutative and idempotent, so iterating pairwise joins to a fixed
+    // point yields the join of every subset.
+    std::set<op_shape> closure(shapes.begin(), shapes.end());
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        std::vector<op_shape> fresh;
+        for (auto i = closure.begin(); i != closure.end(); ++i) {
+            for (auto j = std::next(i); j != closure.end(); ++j) {
+                if (i->kind() != j->kind()) {
+                    continue;
+                }
+                const op_shape joined = op_shape::join(*i, *j);
+                if (!closure.contains(joined)) {
+                    fresh.push_back(joined);
+                }
+            }
+        }
+        for (const op_shape& shape : fresh) {
+            grew |= closure.insert(shape).second;
+        }
+    }
+    return {closure.begin(), closure.end()};
+}
+
+std::vector<op_shape> extract_resource_types(const sequencing_graph& graph)
+{
+    std::vector<op_shape> shapes;
+    shapes.reserve(graph.size());
+    for (const op_id o : graph.all_ops()) {
+        shapes.push_back(graph.shape(o));
+    }
+    return extract_resource_types(shapes);
+}
+
+} // namespace mwl

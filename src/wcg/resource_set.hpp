@@ -1,0 +1,38 @@
+// Candidate resource-wordlength type extraction.
+//
+// Section 2.1 of the paper: "An algorithm for extracting all possible
+// resource types from the set of operations is given in [5]." The letter [5]
+// is not available, so we reconstruct the only set with the required
+// property: a resource type is *useful* exactly when it is the smallest
+// resource covering some subset of operations, i.e. the componentwise-max
+// (join) of that subset's shapes. The set of all such joins is the closure
+// of the operation shapes under pairwise join -- for adders simply the
+// distinct widths, for multipliers a subset of the width_a x width_b grid.
+// Every area-optimal allocation only ever uses resources from this closure
+// (replacing any resource by the join of the operations bound to it never
+// increases area and preserves feasibility), so the reconstruction is
+// conservative: it cannot exclude an optimal solution.
+
+#ifndef MWL_WCG_RESOURCE_SET_HPP
+#define MWL_WCG_RESOURCE_SET_HPP
+
+#include "dfg/sequencing_graph.hpp"
+#include "model/op_shape.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mwl {
+
+/// Join-closure of `shapes`, deduplicated and deterministically ordered
+/// (by kind, then ascending widths). Empty input -> empty output.
+[[nodiscard]] std::vector<op_shape>
+extract_resource_types(std::span<const op_shape> shapes);
+
+/// Convenience overload over all operations of a sequencing graph.
+[[nodiscard]] std::vector<op_shape>
+extract_resource_types(const sequencing_graph& graph);
+
+} // namespace mwl
+
+#endif // MWL_WCG_RESOURCE_SET_HPP

@@ -1,0 +1,177 @@
+#include "wcg/wcg.hpp"
+
+#include "support/error.hpp"
+#include "wcg/resource_set.hpp"
+
+#include <algorithm>
+
+namespace mwl {
+
+wordlength_compatibility_graph::wordlength_compatibility_graph(
+    const sequencing_graph& graph, const hardware_model& model)
+    : graph_(&graph), model_(&model)
+{
+    resources_ = extract_resource_types(graph);
+    res_latency_.reserve(resources_.size());
+    res_area_.reserve(resources_.size());
+    for (const op_shape& shape : resources_) {
+        res_latency_.push_back(model.latency(shape));
+        res_area_.push_back(model.area(shape));
+        MWL_ASSERT(res_latency_.back() >= 1);
+        MWL_ASSERT(res_area_.back() > 0.0);
+    }
+
+    h_of_op_.resize(graph.size());
+    h_of_res_.resize(resources_.size());
+    for (const op_id o : graph.all_ops()) {
+        for (std::size_t ri = 0; ri < resources_.size(); ++ri) {
+            if (resources_[ri].covers(graph.shape(o))) {
+                h_of_op_[o.value()].emplace_back(ri);
+                h_of_res_[ri].push_back(o);
+                ++edge_count_;
+            }
+        }
+        // The closure contains every operation's own shape, so H(o) is
+        // never empty at construction.
+        MWL_ASSERT(!h_of_op_[o.value()].empty());
+    }
+}
+
+const op_shape& wordlength_compatibility_graph::resource(res_id r) const
+{
+    check_res(r);
+    return resources_[r.value()];
+}
+
+int wordlength_compatibility_graph::latency(res_id r) const
+{
+    check_res(r);
+    return res_latency_[r.value()];
+}
+
+double wordlength_compatibility_graph::area(res_id r) const
+{
+    check_res(r);
+    return res_area_[r.value()];
+}
+
+std::vector<res_id> wordlength_compatibility_graph::all_resources() const
+{
+    std::vector<res_id> ids;
+    ids.reserve(resources_.size());
+    for (std::size_t i = 0; i < resources_.size(); ++i) {
+        ids.emplace_back(i);
+    }
+    return ids;
+}
+
+bool wordlength_compatibility_graph::compatible(op_id o, res_id r) const
+{
+    check_op(o);
+    check_res(r);
+    const auto& row = h_of_op_[o.value()];
+    return std::binary_search(row.begin(), row.end(), r);
+}
+
+std::span<const res_id>
+wordlength_compatibility_graph::resources_for(op_id o) const
+{
+    check_op(o);
+    return h_of_op_[o.value()];
+}
+
+std::span<const op_id>
+wordlength_compatibility_graph::ops_for(res_id r) const
+{
+    check_res(r);
+    return h_of_res_[r.value()];
+}
+
+void wordlength_compatibility_graph::delete_edge(op_id o, res_id r)
+{
+    check_op(o);
+    check_res(r);
+    auto& row = h_of_op_[o.value()];
+    const auto it = std::lower_bound(row.begin(), row.end(), r);
+    require(it != row.end() && *it == r, "H edge not present");
+    require(row.size() > 1,
+            "deleting the last compatible resource of an operation");
+    row.erase(it);
+
+    auto& col = h_of_res_[r.value()];
+    const auto jt = std::lower_bound(col.begin(), col.end(), o);
+    MWL_ASSERT(jt != col.end() && *jt == o);
+    col.erase(jt);
+    --edge_count_;
+}
+
+int wordlength_compatibility_graph::latency_upper_bound(op_id o) const
+{
+    check_op(o);
+    int bound = 0;
+    for (const res_id r : h_of_op_[o.value()]) {
+        bound = std::max(bound, res_latency_[r.value()]);
+    }
+    MWL_ASSERT(bound >= 1);
+    return bound;
+}
+
+int wordlength_compatibility_graph::latency_lower_bound(op_id o) const
+{
+    check_op(o);
+    int bound = 0;
+    for (const res_id r : h_of_op_[o.value()]) {
+        const int lat = res_latency_[r.value()];
+        bound = (bound == 0) ? lat : std::min(bound, lat);
+    }
+    MWL_ASSERT(bound >= 1);
+    return bound;
+}
+
+std::vector<int> wordlength_compatibility_graph::latency_upper_bounds() const
+{
+    std::vector<int> bounds;
+    bounds.reserve(graph_->size());
+    for (const op_id o : graph_->all_ops()) {
+        bounds.push_back(latency_upper_bound(o));
+    }
+    return bounds;
+}
+
+bool wordlength_compatibility_graph::refinable(op_id o) const
+{
+    return latency_lower_bound(o) < latency_upper_bound(o);
+}
+
+int wordlength_compatibility_graph::refine_op(op_id o)
+{
+    require(refinable(o), "operation has no strictly faster resource left");
+    const int top = latency_upper_bound(o);
+
+    // Collect first, then delete: delete_edge mutates the row we iterate.
+    std::vector<res_id> doomed;
+    for (const res_id r : h_of_op_[o.value()]) {
+        if (res_latency_[r.value()] == top) {
+            doomed.push_back(r);
+        }
+    }
+    MWL_ASSERT(!doomed.empty());
+    for (const res_id r : doomed) {
+        delete_edge(o, r);
+    }
+    return static_cast<int>(doomed.size());
+}
+
+void wordlength_compatibility_graph::check_op(op_id o) const
+{
+    require(o.is_valid() && o.value() < graph_->size(),
+            "operation id out of range");
+}
+
+void wordlength_compatibility_graph::check_res(res_id r) const
+{
+    require(r.is_valid() && r.value() < resources_.size(),
+            "resource id out of range");
+}
+
+} // namespace mwl

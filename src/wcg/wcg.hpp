@@ -1,0 +1,94 @@
+// Wordlength compatibility graph G(V, E), V = O u R, E = C u H (paper §2.1).
+//
+// This class owns the *H* side of the graph: the bipartite, mutable
+// "operation o may execute on resource-wordlength type r" relation, together
+// with cached latency/area of every resource type and the per-operation
+// latency bounds derived from H. Refinement (paper §2.4) deletes H edges.
+//
+// The *C* side (schedule-derived transitive orientation on O) is a function
+// of the current schedule, not persistent state; it is represented
+// implicitly by (start time, latency bound) pairs and handled by the chain
+// utilities in wcg/chains.hpp.
+
+#ifndef MWL_WCG_WCG_HPP
+#define MWL_WCG_WCG_HPP
+
+#include "dfg/sequencing_graph.hpp"
+#include "model/hardware_model.hpp"
+#include "support/ids.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mwl {
+
+class wordlength_compatibility_graph {
+public:
+    /// Build the initial graph: resources are the join-closure of the
+    /// operation shapes (wcg/resource_set.hpp) and {o,r} is in H exactly
+    /// when r covers o's shape. `graph` and `model` must outlive *this.
+    wordlength_compatibility_graph(const sequencing_graph& graph,
+                                   const hardware_model& model);
+
+    [[nodiscard]] const sequencing_graph& graph() const { return *graph_; }
+    [[nodiscard]] const hardware_model& model() const { return *model_; }
+
+    // -- resource-wordlength types -------------------------------------
+
+    [[nodiscard]] std::size_t resource_count() const
+    {
+        return resources_.size();
+    }
+    [[nodiscard]] const op_shape& resource(res_id r) const;
+    [[nodiscard]] int latency(res_id r) const;
+    [[nodiscard]] double area(res_id r) const;
+    [[nodiscard]] std::vector<res_id> all_resources() const;
+
+    // -- H edges ---------------------------------------------------------
+
+    [[nodiscard]] bool compatible(op_id o, res_id r) const;
+    /// H(o): resource types that may still execute o, ascending res_id.
+    [[nodiscard]] std::span<const res_id> resources_for(op_id o) const;
+    /// O(r): operations that resource type r may still execute.
+    [[nodiscard]] std::span<const op_id> ops_for(res_id r) const;
+    [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+    /// Delete one H edge. Throws `precondition_error` if the edge is absent
+    /// or if deleting it would leave o with no compatible resource.
+    void delete_edge(op_id o, res_id r);
+
+    // -- latency bounds (paper: L_o and the native lower bound) ----------
+
+    /// L_o = max latency over H(o).
+    [[nodiscard]] int latency_upper_bound(op_id o) const;
+    /// min latency over H(o).
+    [[nodiscard]] int latency_lower_bound(op_id o) const;
+    /// Upper bounds for all operations, indexed by op id.
+    [[nodiscard]] std::vector<int> latency_upper_bounds() const;
+
+    /// True iff o still has an H edge to a resource with latency strictly
+    /// below L_o -- i.e. the §2.4 refinement step can shrink o's bound.
+    [[nodiscard]] bool refinable(op_id o) const;
+
+    /// §2.4 refinement: delete every {o,r} in H with latency(r) == L_o.
+    /// Returns the number of edges deleted. Throws `precondition_error`
+    /// if o is not refinable.
+    int refine_op(op_id o);
+
+private:
+    void check_op(op_id o) const;
+    void check_res(res_id r) const;
+
+    const sequencing_graph* graph_;
+    const hardware_model* model_;
+    std::vector<op_shape> resources_;
+    std::vector<int> res_latency_;
+    std::vector<double> res_area_;
+    std::vector<std::vector<res_id>> h_of_op_;  // H(o), sorted
+    std::vector<std::vector<op_id>> h_of_res_;  // O(r), sorted
+    std::size_t edge_count_ = 0;
+};
+
+} // namespace mwl
+
+#endif // MWL_WCG_WCG_HPP

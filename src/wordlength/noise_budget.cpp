@@ -1,0 +1,152 @@
+#include "wordlength/noise_budget.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mwl {
+
+double truncation_noise_power(int frac_bits)
+{
+    MWL_ASSERT(frac_bits >= 0);
+    const double lsb = std::pow(2.0, -frac_bits);
+    return lsb * lsb / 12.0;
+}
+
+std::vector<double> output_gains(const sequencing_graph& graph,
+                                 std::span<const double> coeff_gain)
+{
+    require(coeff_gain.size() == graph.size(),
+            "coefficient-gain vector must cover every operation");
+    for (const op_id o : graph.all_ops()) {
+        if (graph.shape(o).kind() == op_kind::mul) {
+            require(coeff_gain[o.value()] > 0.0,
+                    "multiplier coefficient gain must be positive");
+        }
+    }
+
+    // gain[o] = squared L2 gain from o's output to the system output:
+    // traverse in reverse topological order; an edge into successor s
+    // scales by s's own input gain (1 for adders, coeff^2 for mults).
+    std::vector<double> gain(graph.size(), 0.0);
+    const std::vector<op_id> order = graph.topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const op_id o = *it;
+        if (graph.successors(o).empty()) {
+            gain[o.value()] = 1.0;
+            continue;
+        }
+        double total = 0.0;
+        for (const op_id s : graph.successors(o)) {
+            const double through =
+                graph.shape(s).kind() == op_kind::mul
+                    ? coeff_gain[s.value()] * coeff_gain[s.value()]
+                    : 1.0;
+            total += through * gain[s.value()];
+        }
+        gain[o.value()] = total;
+    }
+    return gain;
+}
+
+wordlength_assignment assign_fractional_widths(const sequencing_graph& graph,
+                                               std::span<const double> gains,
+                                               const noise_spec& spec)
+{
+    require(gains.size() == graph.size(),
+            "gain vector must cover every operation");
+    require(spec.budget > 0.0, "noise budget must be positive");
+    require(spec.min_frac_bits >= 0 &&
+                spec.min_frac_bits <= spec.max_frac_bits,
+            "invalid fractional-bit range");
+    for (const double g : gains) {
+        require(g >= 0.0, "gains must be non-negative");
+    }
+
+    const std::size_t n = graph.size();
+    wordlength_assignment result;
+    result.frac_bits.assign(n, spec.max_frac_bits);
+    if (n == 0) {
+        return result;
+    }
+
+    const auto noise_of = [&](const std::vector<int>& f) {
+        double total = 0.0;
+        for (std::size_t o = 0; o < n; ++o) {
+            total += gains[o] * truncation_noise_power(f[o]);
+        }
+        return total;
+    };
+
+    require_feasible(noise_of(result.frac_bits) <= spec.budget,
+                     "noise budget unreachable even at maximum precision");
+
+    // Water-filling start: equal per-op noise share P/N.
+    const double share =
+        spec.budget / static_cast<double>(n);
+    for (std::size_t o = 0; o < n; ++o) {
+        if (gains[o] == 0.0) {
+            result.frac_bits[o] = spec.min_frac_bits; // never reaches output
+            continue;
+        }
+        // gains[o] * 2^{-2f}/12 <= share  =>  f >= log2(gains[o]/(12*share))/2
+        const double f_real =
+            0.5 * std::log2(gains[o] / (12.0 * share));
+        const int f = static_cast<int>(std::ceil(f_real));
+        result.frac_bits[o] =
+            std::clamp(f, spec.min_frac_bits, spec.max_frac_bits);
+    }
+    // Clamping at max_frac_bits may have pushed us over budget; repair by
+    // growing the cheapest violator... growing is impossible past max, so
+    // instead grow the *other* ops back toward max until the budget holds.
+    {
+        std::vector<std::size_t> by_gain(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            by_gain[i] = i;
+        }
+        std::sort(by_gain.begin(), by_gain.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return gains[a] > gains[b];
+                  });
+        std::size_t at = 0;
+        while (noise_of(result.frac_bits) > spec.budget) {
+            MWL_ASSERT(at < n); // feasible at all-max, so repair terminates
+            result.frac_bits[by_gain[at]] = spec.max_frac_bits;
+            ++at;
+        }
+    }
+
+    // Greedy trim: repeatedly drop one bit from the operation whose
+    // reduction adds the least output noise, while the budget holds.
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        double current = noise_of(result.frac_bits);
+        std::size_t best = n;
+        double best_delta = 0.0;
+        for (std::size_t o = 0; o < n; ++o) {
+            if (result.frac_bits[o] <= spec.min_frac_bits) {
+                continue;
+            }
+            const double delta =
+                gains[o] * (truncation_noise_power(result.frac_bits[o] - 1) -
+                            truncation_noise_power(result.frac_bits[o]));
+            if (current + delta <= spec.budget &&
+                (best == n || delta < best_delta)) {
+                best = o;
+                best_delta = delta;
+            }
+        }
+        if (best != n) {
+            --result.frac_bits[best];
+            improved = true;
+        }
+    }
+
+    result.noise_power = noise_of(result.frac_bits);
+    MWL_ASSERT(result.noise_power <= spec.budget);
+    return result;
+}
+
+} // namespace mwl

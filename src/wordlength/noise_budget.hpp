@@ -1,0 +1,68 @@
+// Error-driven fractional-wordlength assignment (Synoptix-style).
+//
+// The paper's closing remark: "the wordlength of each operation has been
+// specified a-priori, either by hand or from output-error specification by
+// a further design automation tool such as Synoptix [3, 6]. Future work
+// should include investigation of the interaction between high-level
+// synthesis of multiple wordlength systems and the derivation of
+// wordlength information from output-error specifications." This module
+// implements that front end for linear(ised) computation graphs, closing
+// the loop the paper points at.
+//
+// Model (standard roundoff-noise analysis): truncating an operation's
+// result to f fractional bits injects white noise of power 2^{-2f}/12,
+// which reaches the system output scaled by the squared L2 gain of the
+// path from that operation to the output. Given per-operation output
+// gains G_o and a total output-noise budget P, we choose fractional widths
+//
+//     f_o  >=  0.5 * log2( N * G_o^2 / (12 * P) )
+//
+// (water-filling: every operation contributes an equal share P/N), clamp
+// to [min_frac, max_frac], then greedily *shrink* further while the exact
+// budget still holds -- cheapest-impact first, so wide-gain operations
+// keep their bits and low-gain operations shed theirs.
+
+#ifndef MWL_WORDLENGTH_NOISE_BUDGET_HPP
+#define MWL_WORDLENGTH_NOISE_BUDGET_HPP
+
+#include "dfg/sequencing_graph.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mwl {
+
+struct noise_spec {
+    /// Maximum allowed output noise power (variance, same scale as the
+    /// gains). Must be > 0.
+    double budget = 1e-6;
+    int min_frac_bits = 2;
+    int max_frac_bits = 24;
+};
+
+/// Noise power injected by truncation to `frac_bits` fractional bits.
+[[nodiscard]] double truncation_noise_power(int frac_bits);
+
+/// Squared-gain from every operation's output to the system output for a
+/// *linear* graph in which adders have unit gain per input and multipliers
+/// scale by a constant coefficient: `coeff_gain[o]` is the |coefficient|
+/// of multiplier o (ignored for adders). Outputs (ops without successors)
+/// have gain 1 to themselves; multiple outputs accumulate.
+[[nodiscard]] std::vector<double> output_gains(
+    const sequencing_graph& graph, std::span<const double> coeff_gain);
+
+struct wordlength_assignment {
+    std::vector<int> frac_bits;   ///< per op id
+    double noise_power = 0.0;     ///< achieved output noise power
+};
+
+/// Assign fractional widths meeting `spec.budget` with minimum total bits.
+/// Throws `infeasible_error` if even max_frac_bits everywhere exceeds the
+/// budget, `precondition_error` on malformed inputs.
+[[nodiscard]] wordlength_assignment assign_fractional_widths(
+    const sequencing_graph& graph, std::span<const double> gains,
+    const noise_spec& spec);
+
+} // namespace mwl
+
+#endif // MWL_WORDLENGTH_NOISE_BUDGET_HPP

@@ -1,0 +1,231 @@
+// Unit tests for src/baseline: latency-preserving grouping rules, the
+// two-stage [4]-style baseline (FDS + optimal B&B binding) and the greedy
+// descending-wordlength partition [14].
+
+#include "baseline/descending.hpp"
+#include "baseline/grouping.hpp"
+#include "baseline/two_stage.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tgff/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwl {
+namespace {
+
+sequencing_graph fig1_graph()
+{
+    sequencing_graph g;
+    const op_id m1 = g.add_operation(op_shape::multiplier(12, 12), "m1");
+    const op_id m2 = g.add_operation(op_shape::multiplier(8, 4), "m2");
+    const op_id a = g.add_operation(op_shape::adder(12), "a");
+    g.add_dependency(m1, a);
+    g.add_dependency(m2, a);
+    return g;
+}
+
+// ------------------------------------------------------------ grouping --
+
+TEST(Grouping, EqualLatencyAddersMayShare)
+{
+    sequencing_graph g;
+    const op_id a = g.add_operation(op_shape::adder(8));
+    const op_id b = g.add_operation(op_shape::adder(12));
+    const sonic_model model;
+    const std::vector<int> native{2, 2};
+    const std::vector<int> start{0, 2}; // disjoint
+    const std::vector<op_id> ops{a, b};
+    const auto shape =
+        latency_preserving_shape(g, model, ops, start, native);
+    ASSERT_TRUE(shape.has_value());
+    EXPECT_EQ(*shape, op_shape::adder(12));
+}
+
+TEST(Grouping, OverlapForbidsSharing)
+{
+    sequencing_graph g;
+    const op_id a = g.add_operation(op_shape::adder(8));
+    const op_id b = g.add_operation(op_shape::adder(12));
+    const sonic_model model;
+    const std::vector<int> native{2, 2};
+    const std::vector<int> start{0, 1};
+    const std::vector<op_id> ops{a, b};
+    EXPECT_FALSE(
+        latency_preserving_shape(g, model, ops, start, native).has_value());
+}
+
+TEST(Grouping, LatencyBandMismatchForbidsSharing)
+{
+    // mul12x12 native 3 cycles, mul8x4 native 2: the join (12x12) would
+    // slow the small multiplication down -> not latency preserving.
+    sequencing_graph g;
+    const op_id m1 = g.add_operation(op_shape::multiplier(12, 12));
+    const op_id m2 = g.add_operation(op_shape::multiplier(8, 4));
+    const sonic_model model;
+    const std::vector<int> native{3, 2};
+    const std::vector<int> start{0, 5};
+    const std::vector<op_id> ops{m1, m2};
+    EXPECT_FALSE(
+        latency_preserving_shape(g, model, ops, start, native).has_value());
+}
+
+TEST(Grouping, JoinCrossingLatencyBandForbidsSharing)
+{
+    // Same native latency but the join crosses a band: (12,4) and (6,10)
+    // are both ceil(16/8)=2 cycles, join (12,10) is ceil(22/8)=3 cycles.
+    sequencing_graph g;
+    const op_id m1 = g.add_operation(op_shape::multiplier(12, 4));
+    const op_id m2 = g.add_operation(op_shape::multiplier(6, 10));
+    const sonic_model model;
+    const std::vector<int> native{2, 2};
+    const std::vector<int> start{0, 5};
+    const std::vector<op_id> ops{m1, m2};
+    EXPECT_FALSE(
+        latency_preserving_shape(g, model, ops, start, native).has_value());
+}
+
+TEST(Grouping, MixedKindsForbidSharing)
+{
+    sequencing_graph g;
+    const op_id a = g.add_operation(op_shape::adder(8));
+    const op_id m = g.add_operation(op_shape::multiplier(8, 8));
+    const sonic_model model;
+    const std::vector<int> native{2, 2};
+    const std::vector<int> start{0, 4};
+    const std::vector<op_id> ops{a, m};
+    EXPECT_FALSE(
+        latency_preserving_shape(g, model, ops, start, native).has_value());
+}
+
+// ----------------------------------------------------------- two-stage --
+
+TEST(TwoStage, Fig1CannotExploitSlack)
+{
+    // The defining weakness the paper exposes: even with slack, the
+    // two-stage baseline may not slow the small multiplication down, so
+    // both multipliers remain.
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const two_stage_result tight = two_stage_allocate(g, model, 5);
+    const two_stage_result slack = two_stage_allocate(g, model, 8);
+    require_valid(g, model, tight.path, 5);
+    require_valid(g, model, slack.path, 8);
+    EXPECT_TRUE(tight.proven_optimal_binding);
+    EXPECT_DOUBLE_EQ(tight.path.total_area, 188.0);
+    EXPECT_DOUBLE_EQ(slack.path.total_area, 188.0); // slack wasted
+}
+
+TEST(TwoStage, EqualLatencyOpsDoShare)
+{
+    // A serial chain of adds collapses onto one adder: sharing is allowed
+    // inside a latency band.
+    sequencing_graph g;
+    op_id prev = g.add_operation(op_shape::adder(6));
+    for (int i = 0; i < 3; ++i) {
+        const op_id next = g.add_operation(op_shape::adder(8 + i));
+        g.add_dependency(prev, next);
+        prev = next;
+    }
+    const sonic_model model;
+    const int lambda = min_latency(g, model);
+    const two_stage_result r = two_stage_allocate(g, model, lambda);
+    require_valid(g, model, r.path, lambda);
+    EXPECT_EQ(r.path.instances.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.path.total_area, 10.0); // widest adder
+}
+
+TEST(TwoStage, InfeasibleLambdaThrows)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    EXPECT_THROW(static_cast<void>(two_stage_allocate(g, model, 4)),
+                 infeasible_error);
+}
+
+TEST(TwoStage, EmptyGraph)
+{
+    sequencing_graph g;
+    const sonic_model model;
+    const two_stage_result r = two_stage_allocate(g, model, 0);
+    EXPECT_DOUBLE_EQ(r.path.total_area, 0.0);
+}
+
+TEST(TwoStage, OptimalBindingBeatsOrMatchesGreedy)
+{
+    rng random(888);
+    for (int trial = 0; trial < 15; ++trial) {
+        tgff_options opts;
+        opts.n_ops = 8;
+        const sequencing_graph g = generate_tgff(opts, random);
+        const sonic_model model;
+        const int lambda = min_latency(g, model) + trial % 3;
+        const two_stage_result opt = two_stage_allocate(g, model, lambda);
+        const datapath greedy = descending_allocate(g, model, lambda);
+        require_valid(g, model, opt.path, lambda);
+        require_valid(g, model, greedy, lambda);
+        EXPECT_LE(opt.path.total_area, greedy.total_area + 1e-9)
+            << "trial " << trial;
+    }
+}
+
+TEST(TwoStage, ValidOnRandomGraphs)
+{
+    rng random(1234);
+    for (int trial = 0; trial < 20; ++trial) {
+        tgff_options opts;
+        opts.n_ops = 3 + static_cast<std::size_t>(trial) % 10;
+        const sequencing_graph g = generate_tgff(opts, random);
+        const sonic_model model;
+        const int lambda = min_latency(g, model) + trial % 4;
+        const two_stage_result r = two_stage_allocate(g, model, lambda);
+        require_valid(g, model, r.path, lambda);
+    }
+}
+
+// ---------------------------------------------------------- descending --
+
+TEST(Descending, ProducesValidDatapaths)
+{
+    rng random(4321);
+    for (int trial = 0; trial < 20; ++trial) {
+        tgff_options opts;
+        opts.n_ops = 3 + static_cast<std::size_t>(trial) % 10;
+        const sequencing_graph g = generate_tgff(opts, random);
+        const sonic_model model;
+        const int lambda = min_latency(g, model) + trial % 4;
+        const datapath path = descending_allocate(g, model, lambda);
+        require_valid(g, model, path, lambda);
+    }
+}
+
+TEST(Descending, SerialAddChainCollapses)
+{
+    sequencing_graph g;
+    op_id prev = g.add_operation(op_shape::adder(16));
+    for (int i = 0; i < 4; ++i) {
+        const op_id next = g.add_operation(op_shape::adder(4));
+        g.add_dependency(prev, next);
+        prev = next;
+    }
+    const sonic_model model;
+    const int lambda = min_latency(g, model);
+    const datapath path = descending_allocate(g, model, lambda);
+    require_valid(g, model, path, lambda);
+    EXPECT_EQ(path.instances.size(), 1u);
+    EXPECT_DOUBLE_EQ(path.total_area, 16.0);
+}
+
+TEST(Descending, EmptyGraph)
+{
+    sequencing_graph g;
+    const sonic_model model;
+    const datapath path = descending_allocate(g, model, 0);
+    EXPECT_DOUBLE_EQ(path.total_area, 0.0);
+}
+
+} // namespace
+} // namespace mwl

@@ -1,0 +1,168 @@
+// Mutation fuzzing of the independent validator and the simulator:
+// starting from known-valid datapaths, apply random single-field
+// corruptions and check that at least one safety net (validator or
+// simulator) rejects every *semantically harmful* mutation, and that
+// harmless mutations (which keep all invariants) are still accepted.
+// This guards the guards: a validator that silently accepts corrupted
+// designs would undermine every other test in the suite.
+
+#include "core/dpalloc.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tgff/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mwl {
+namespace {
+
+sim_inputs random_inputs(const sequencing_graph& g, rng& random)
+{
+    sim_inputs in(g.size());
+    for (const op_id o : g.all_ops()) {
+        const std::size_t need = 2 - g.predecessors(o).size();
+        for (std::size_t k = 0; k < need; ++k) {
+            in[o.value()].push_back(random.uniform_int(0, 63) - 32);
+        }
+    }
+    return in;
+}
+
+enum class mutation_kind {
+    shift_start,
+    rebind_op,
+    shrink_instance,
+    perturb_area,
+    perturb_latency,
+    count,
+};
+
+/// Apply one random mutation; returns false if the draw was a no-op
+/// (e.g. moving an op to the instance it is already on).
+bool mutate(datapath& path, const sequencing_graph& graph, rng& random)
+{
+    const auto kind = static_cast<mutation_kind>(random.uniform_int(
+        0, static_cast<int>(mutation_kind::count) - 1));
+    const op_id victim(random.uniform(0, graph.size() - 1));
+    switch (kind) {
+    case mutation_kind::shift_start: {
+        const int delta = random.uniform_int(0, 6) - 3;
+        if (delta == 0) {
+            return false;
+        }
+        path.start[victim.value()] += delta;
+        return true;
+    }
+    case mutation_kind::rebind_op: {
+        const std::size_t target =
+            random.uniform(0, path.instances.size() - 1);
+        const std::size_t from = path.instance_of_op[victim.value()];
+        if (target == from) {
+            return false;
+        }
+        auto& old_ops = path.instances[from].ops;
+        old_ops.erase(std::find(old_ops.begin(), old_ops.end(), victim));
+        path.instances[target].ops.push_back(victim);
+        path.instance_of_op[victim.value()] = target;
+        return true;
+    }
+    case mutation_kind::shrink_instance: {
+        const std::size_t i = random.uniform(0, path.instances.size() - 1);
+        datapath_instance& inst = path.instances[i];
+        if (inst.shape.kind() != op_kind::mul ||
+            inst.shape.width_b() <= 1) {
+            return false;
+        }
+        inst.shape = op_shape::multiplier(inst.shape.width_a(),
+                                          inst.shape.width_b() - 1);
+        // deliberately leave latency/area stale: the validator must
+        // notice the inconsistency with the model
+        return true;
+    }
+    case mutation_kind::perturb_area:
+        path.total_area += random.chance(0.5) ? 1.0 : -1.0;
+        return true;
+    case mutation_kind::perturb_latency:
+        path.latency += random.chance(0.5) ? 1 : -1;
+        return true;
+    case mutation_kind::count:
+        break;
+    }
+    return false;
+}
+
+TEST(Fuzz, ValidatorOrSimulatorCatchesHarmfulMutations)
+{
+    const sonic_model model;
+    rng random(0xF00D);
+    const auto corpus = make_corpus(8, 6, model, 1234);
+    std::size_t mutations = 0;
+    std::size_t rejected = 0;
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, 0.2);
+        const dpalloc_result base = dpalloc(e.graph, model, lambda);
+        const sim_inputs in = random_inputs(e.graph, random);
+        const sim_result ref = reference_evaluate(e.graph, in);
+
+        for (int trial = 0; trial < 40; ++trial) {
+            datapath mutant = base.path;
+            if (!mutate(mutant, e.graph, random)) {
+                continue;
+            }
+            ++mutations;
+            const bool validator_rejects =
+                !validate_datapath(e.graph, model, mutant, lambda).empty();
+            bool simulator_rejects = false;
+            bool values_changed = false;
+            if (!validator_rejects) {
+                try {
+                    values_changed =
+                        simulate_datapath(e.graph, mutant, in).value_of_op !=
+                        ref.value_of_op;
+                } catch (const error&) {
+                    simulator_rejects = true;
+                }
+            }
+            if (validator_rejects || simulator_rejects) {
+                ++rejected;
+            } else {
+                // Mutation survived both nets: it must be truly harmless --
+                // the datapath still computes the right values.
+                EXPECT_FALSE(values_changed);
+            }
+        }
+    }
+    // The vast majority of random single-field corruptions must be caught.
+    ASSERT_GT(mutations, 100u);
+    EXPECT_GT(static_cast<double>(rejected),
+              0.8 * static_cast<double>(mutations));
+}
+
+TEST(Fuzz, ValidatorAcceptsAllGeneratedDatapathsAcrossSeeds)
+{
+    // Broad seed sweep: the validator must accept every genuine DPAlloc
+    // output (no false positives), across sizes and slacks.
+    const sonic_model model;
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull, 5ull, 8ull}) {
+        const auto corpus =
+            make_corpus(4 + seed % 9, 4, model, seed * 1000);
+        for (const corpus_entry& e : corpus) {
+            for (const double slack : {0.0, 0.15, 0.3}) {
+                const int lambda = relaxed_lambda(e.lambda_min, slack);
+                const dpalloc_result r = dpalloc(e.graph, model, lambda);
+                EXPECT_TRUE(
+                    validate_datapath(e.graph, model, r.path, lambda)
+                        .empty());
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mwl

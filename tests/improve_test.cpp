@@ -1,0 +1,176 @@
+// Unit tests for src/improve: every accepted move keeps the datapath
+// valid, area never increases, and the passes do what they claim on
+// constructed scenarios.
+
+#include "core/dpalloc.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "improve/local_search.hpp"
+#include "model/hardware_model.hpp"
+#include "support/error.hpp"
+#include "tgff/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwl {
+namespace {
+
+TEST(Improve, NeverWorsensAndStaysValidOnRandomCorpus)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(12, 8, model, 61);
+    for (const corpus_entry& e : corpus) {
+        for (const double slack : {0.0, 0.2}) {
+            const int lambda = relaxed_lambda(e.lambda_min, slack);
+            const dpalloc_result seed = dpalloc(e.graph, model, lambda);
+            const improve_result improved =
+                improve_datapath(e.graph, model, seed.path, lambda);
+            require_valid(e.graph, model, improved.path, lambda);
+            EXPECT_LE(improved.path.total_area,
+                      seed.path.total_area + 1e-9);
+            EXPECT_GE(improved.area_saved, -1e-9);
+        }
+    }
+}
+
+TEST(Improve, DownsizesOversizedInstance)
+{
+    // Hand-build a valid datapath with a gratuitously wide adder.
+    sequencing_graph g;
+    const op_id a = g.add_operation(op_shape::adder(8));
+    const sonic_model model;
+    datapath path;
+    path.start = {0};
+    path.instance_of_op = {0};
+    datapath_instance inst;
+    inst.shape = op_shape::adder(20); // oversized
+    inst.latency = model.latency(inst.shape);
+    inst.area = model.area(inst.shape);
+    inst.ops = {a};
+    path.instances.push_back(inst);
+    path.total_area = inst.area;
+    path.latency = 2;
+    require_valid(g, model, path, 4);
+
+    const improve_result improved = improve_datapath(g, model, path, 4);
+    ASSERT_EQ(improved.path.instances.size(), 1u);
+    EXPECT_EQ(improved.path.instances[0].shape, op_shape::adder(8));
+    EXPECT_DOUBLE_EQ(improved.path.total_area, 8.0);
+    EXPECT_DOUBLE_EQ(improved.area_saved, 12.0);
+}
+
+TEST(Improve, MergesSerialisableInstances)
+{
+    // Two serialised same-shape mults on *separate* instances: rebinding
+    // one onto the other's instance halves the multiplier area.
+    sequencing_graph g;
+    const op_id m1 = g.add_operation(op_shape::multiplier(8, 8));
+    const op_id m2 = g.add_operation(op_shape::multiplier(8, 8));
+    const sonic_model model;
+    datapath path;
+    path.start = {0, 2};
+    path.instance_of_op = {0, 1};
+    for (const op_id o : {m1, m2}) {
+        datapath_instance inst;
+        inst.shape = op_shape::multiplier(8, 8);
+        inst.latency = model.latency(inst.shape);
+        inst.area = model.area(inst.shape);
+        inst.ops = {o};
+        path.instances.push_back(inst);
+        path.total_area += inst.area;
+    }
+    path.latency = 4;
+    require_valid(g, model, path, 4);
+
+    const improve_result improved = improve_datapath(g, model, path, 4);
+    EXPECT_EQ(improved.path.instances.size(), 1u);
+    EXPECT_DOUBLE_EQ(improved.path.total_area, 64.0);
+}
+
+TEST(Improve, CompactionShortensSparseSchedules)
+{
+    // A valid but loose schedule: compaction pulls ops earlier.
+    sequencing_graph g;
+    const op_id a = g.add_operation(op_shape::adder(8));
+    const op_id b = g.add_operation(op_shape::adder(8));
+    g.add_dependency(a, b);
+    const sonic_model model;
+    datapath path;
+    path.start = {3, 9}; // loose
+    path.instance_of_op = {0, 0};
+    datapath_instance inst;
+    inst.shape = op_shape::adder(8);
+    inst.latency = 2;
+    inst.area = 8.0;
+    inst.ops = {a, b};
+    path.instances.push_back(inst);
+    path.total_area = 8.0;
+    path.latency = 11;
+    require_valid(g, model, path, 12);
+
+    const improve_result improved = improve_datapath(g, model, path, 12);
+    EXPECT_EQ(improved.path.start[a.value()], 0);
+    EXPECT_EQ(improved.path.start[b.value()], 2);
+    EXPECT_EQ(improved.path.latency, 4);
+}
+
+TEST(Improve, RespectsLatencyConstraint)
+{
+    // Rebinding must not be accepted when it would stretch past lambda:
+    // two parallel mults at lambda_min cannot merge.
+    sequencing_graph g;
+    g.add_operation(op_shape::multiplier(8, 8));
+    g.add_operation(op_shape::multiplier(8, 8));
+    const sonic_model model;
+    const dpalloc_result seed = dpalloc(g, model, 2);
+    ASSERT_EQ(seed.path.instances.size(), 2u);
+    const improve_result improved =
+        improve_datapath(g, model, seed.path, 2);
+    EXPECT_EQ(improved.path.instances.size(), 2u); // merge would violate
+}
+
+TEST(Improve, InvalidSeedThrows)
+{
+    sequencing_graph g;
+    g.add_operation(op_shape::adder(8));
+    const sonic_model model;
+    datapath bogus; // empty/inconsistent
+    EXPECT_THROW(
+        static_cast<void>(improve_datapath(g, model, bogus, 4)), error);
+}
+
+TEST(Improve, DisabledMovesAreNoOps)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(10, 3, model, 63);
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, 0.2);
+        const dpalloc_result seed = dpalloc(e.graph, model, lambda);
+        improve_options off;
+        off.enable_downsize = false;
+        off.enable_rebind = false;
+        off.enable_compaction = false;
+        const improve_result r =
+            improve_datapath(e.graph, model, seed.path, lambda, off);
+        EXPECT_DOUBLE_EQ(r.path.total_area, seed.path.total_area);
+        EXPECT_EQ(r.moves_applied, 0u);
+    }
+}
+
+TEST(Improve, IdempotentOnItsOwnOutput)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(10, 3, model, 67);
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, 0.3);
+        const dpalloc_result seed = dpalloc(e.graph, model, lambda);
+        const improve_result once =
+            improve_datapath(e.graph, model, seed.path, lambda);
+        const improve_result twice =
+            improve_datapath(e.graph, model, once.path, lambda);
+        EXPECT_DOUBLE_EQ(twice.path.total_area, once.path.total_area);
+    }
+}
+
+} // namespace
+} // namespace mwl

@@ -1,0 +1,185 @@
+// Cross-algorithm integration and property tests, parameterised over
+// problem size, latency slack and RNG seed (TEST_P sweeps). These encode
+// the relationships the paper's evaluation relies on:
+//
+//  * every algorithm's output passes the independent validator;
+//  * the ILP optimum lower-bounds every heuristic/baseline solution;
+//  * DPAlloc never loses to the baselines *on average* (Fig. 3's claim);
+//  * execution never depends on hidden state (determinism).
+
+#include "baseline/descending.hpp"
+#include "baseline/two_stage.hpp"
+#include "core/dpalloc.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "ilp/formulation.hpp"
+#include "model/hardware_model.hpp"
+#include "tgff/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace mwl {
+namespace {
+
+struct sweep_param {
+    std::size_t n_ops;
+    double slack;
+    std::uint64_t seed;
+};
+
+std::string param_name(const testing::TestParamInfo<sweep_param>& info)
+{
+    return "n" + std::to_string(info.param.n_ops) + "_slack" +
+           std::to_string(static_cast<int>(info.param.slack * 100)) +
+           "_seed" + std::to_string(info.param.seed);
+}
+
+class AllocationSweep : public testing::TestWithParam<sweep_param> {};
+
+TEST_P(AllocationSweep, AllAlgorithmsProduceValidDatapaths)
+{
+    const sweep_param p = GetParam();
+    const sonic_model model;
+    const auto corpus = make_corpus(p.n_ops, 6, model, p.seed);
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, p.slack);
+
+        const dpalloc_result heur = dpalloc(e.graph, model, lambda);
+        require_valid(e.graph, model, heur.path, lambda);
+
+        const two_stage_result two = two_stage_allocate(e.graph, model,
+                                                        lambda);
+        require_valid(e.graph, model, two.path, lambda);
+
+        const datapath desc = descending_allocate(e.graph, model, lambda);
+        require_valid(e.graph, model, desc, lambda);
+
+        // Optimal B&B binding can only improve on the greedy partition.
+        EXPECT_LE(two.path.total_area, desc.total_area + 1e-9);
+    }
+}
+
+TEST_P(AllocationSweep, DpallocNeverLosesOnAverage)
+{
+    const sweep_param p = GetParam();
+    const sonic_model model;
+    const auto corpus = make_corpus(p.n_ops, 6, model, p.seed);
+    double heur_total = 0.0;
+    double baseline_total = 0.0;
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, p.slack);
+        heur_total += dpalloc(e.graph, model, lambda).path.total_area;
+        baseline_total +=
+            two_stage_allocate(e.graph, model, lambda).path.total_area;
+    }
+    // Fig. 3's claim is about corpus means; allow a small per-corpus
+    // tolerance since individual samples are heuristic-vs-optimal-binding.
+    EXPECT_LE(heur_total, baseline_total * 1.05 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSlacks, AllocationSweep,
+    testing::Values(sweep_param{3, 0.0, 11}, sweep_param{3, 0.3, 11},
+                    sweep_param{6, 0.0, 12}, sweep_param{6, 0.15, 12},
+                    sweep_param{6, 0.3, 12}, sweep_param{10, 0.0, 13},
+                    sweep_param{10, 0.15, 13}, sweep_param{10, 0.3, 13},
+                    sweep_param{16, 0.1, 14}, sweep_param{20, 0.2, 15}),
+    param_name);
+
+class OptimalitySweep : public testing::TestWithParam<sweep_param> {};
+
+TEST_P(OptimalitySweep, IlpLowerBoundsEveryAlgorithm)
+{
+    const sweep_param p = GetParam();
+    const sonic_model model;
+    const auto corpus = make_corpus(p.n_ops, 4, model, p.seed);
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, p.slack);
+        mip_options mopt;
+        mopt.max_nodes = 200000;
+        const ilp_result opt = solve_ilp(e.graph, model, lambda, mopt);
+        if (opt.status != mip_status::optimal) {
+            continue; // node cap: no optimality claim to check
+        }
+        require_valid(e.graph, model, opt.path, lambda);
+
+        const dpalloc_result heur = dpalloc(e.graph, model, lambda);
+        const two_stage_result two = two_stage_allocate(e.graph, model,
+                                                        lambda);
+        EXPECT_GE(heur.path.total_area, opt.path.total_area - 1e-6);
+        EXPECT_GE(two.path.total_area, opt.path.total_area - 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSizes, OptimalitySweep,
+    testing::Values(sweep_param{2, 0.0, 21}, sweep_param{3, 0.0, 22},
+                    sweep_param{4, 0.0, 23}, sweep_param{4, 0.3, 23},
+                    sweep_param{5, 0.0, 24}, sweep_param{5, 0.15, 24},
+                    sweep_param{6, 0.0, 25}),
+    param_name);
+
+class DeterminismSweep : public testing::TestWithParam<sweep_param> {};
+
+TEST_P(DeterminismSweep, RepeatedRunsAgreeExactly)
+{
+    const sweep_param p = GetParam();
+    const sonic_model model;
+    const auto corpus = make_corpus(p.n_ops, 3, model, p.seed);
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, p.slack);
+        const dpalloc_result a = dpalloc(e.graph, model, lambda);
+        const dpalloc_result b = dpalloc(e.graph, model, lambda);
+        EXPECT_EQ(a.path.start, b.path.start);
+        EXPECT_EQ(a.path.instances.size(), b.path.instances.size());
+        EXPECT_DOUBLE_EQ(a.path.total_area, b.path.total_area);
+        const two_stage_result ta = two_stage_allocate(e.graph, model,
+                                                       lambda);
+        const two_stage_result tb = two_stage_allocate(e.graph, model,
+                                                       lambda);
+        EXPECT_DOUBLE_EQ(ta.path.total_area, tb.path.total_area);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Determinism, DeterminismSweep,
+    testing::Values(sweep_param{8, 0.0, 31}, sweep_param{8, 0.2, 31},
+                    sweep_param{14, 0.1, 32}),
+    param_name);
+
+TEST(Integration, SlackMonotonicityOnCorpusMeans)
+{
+    // More slack must not increase DPAlloc's mean area (the paper's whole
+    // premise: slack is traded for area).
+    const sonic_model model;
+    const auto corpus = make_corpus(8, 10, model, 71);
+    double prev = 1e18;
+    for (const double slack : {0.0, 0.1, 0.2, 0.3}) {
+        double total = 0.0;
+        for (const corpus_entry& e : corpus) {
+            const int lambda = relaxed_lambda(e.lambda_min, slack);
+            total += dpalloc(e.graph, model, lambda).path.total_area;
+        }
+        EXPECT_LE(total, prev + 1e-6) << "slack " << slack;
+        prev = total;
+    }
+}
+
+TEST(Integration, UniformLatencyModelKeepsAllAlgorithmsValid)
+{
+    const uniform_latency_model model(2);
+    const auto corpus = make_corpus(9, 5, model, 81);
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, 0.2);
+        const dpalloc_result heur = dpalloc(e.graph, model, lambda);
+        require_valid(e.graph, model, heur.path, lambda);
+        const two_stage_result two = two_stage_allocate(e.graph, model,
+                                                        lambda);
+        require_valid(e.graph, model, two.path, lambda);
+    }
+}
+
+} // namespace
+} // namespace mwl

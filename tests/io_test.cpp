@@ -1,0 +1,156 @@
+// Unit tests for src/io: .mwl parsing, error reporting with line numbers,
+// and write/parse round-trips.
+
+#include "io/graph_io.hpp"
+#include "support/rng.hpp"
+#include "tgff/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwl {
+namespace {
+
+TEST(GraphIo, ParsesOperationsAndDependencies)
+{
+    const sequencing_graph g = parse_graph_string(
+        "# a tiny graph\n"
+        "op m1 mul 12 8\n"
+        "op a1 add 16\n"
+        "\n"
+        "dep m1 a1\n");
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_EQ(g.shape(op_id(0)), op_shape::multiplier(12, 8));
+    EXPECT_EQ(g.shape(op_id(1)), op_shape::adder(16));
+    EXPECT_EQ(g.op(op_id(0)).name, "m1");
+    ASSERT_EQ(g.successors(op_id(0)).size(), 1u);
+    EXPECT_EQ(g.successors(op_id(0))[0], op_id(1));
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored)
+{
+    const sequencing_graph g = parse_graph_string(
+        "\n# only comments\n\n# another\nop x add 4\n");
+    EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(GraphIo, MultiplierOperandOrderNormalised)
+{
+    const sequencing_graph g = parse_graph_string("op m mul 4 20\n");
+    EXPECT_EQ(g.shape(op_id(0)), op_shape::multiplier(20, 4));
+}
+
+TEST(GraphIo, DuplicateNameRejectedWithLineNumber)
+{
+    try {
+        static_cast<void>(
+            parse_graph_string("op x add 4\nop x add 5\n"));
+        FAIL() << "should have thrown";
+    } catch (const parse_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("duplicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(GraphIo, UnknownKeywordRejected)
+{
+    EXPECT_THROW(static_cast<void>(parse_graph_string("node x add 4\n")),
+                 parse_error);
+}
+
+TEST(GraphIo, UnknownKindRejected)
+{
+    EXPECT_THROW(static_cast<void>(parse_graph_string("op x div 4\n")),
+                 parse_error);
+}
+
+TEST(GraphIo, MissingWidthRejected)
+{
+    EXPECT_THROW(static_cast<void>(parse_graph_string("op x add\n")),
+                 parse_error);
+    EXPECT_THROW(static_cast<void>(parse_graph_string("op x mul 4\n")),
+                 parse_error);
+}
+
+TEST(GraphIo, NonPositiveWidthRejected)
+{
+    EXPECT_THROW(static_cast<void>(parse_graph_string("op x add 0\n")),
+                 parse_error);
+    EXPECT_THROW(static_cast<void>(parse_graph_string("op x mul 4 -2\n")),
+                 parse_error);
+}
+
+TEST(GraphIo, TrailingTokensRejected)
+{
+    EXPECT_THROW(static_cast<void>(parse_graph_string("op x add 4 junk\n")),
+                 parse_error);
+}
+
+TEST(GraphIo, DanglingDependencyRejected)
+{
+    EXPECT_THROW(
+        static_cast<void>(parse_graph_string("op x add 4\ndep x y\n")),
+        parse_error);
+    EXPECT_THROW(
+        static_cast<void>(parse_graph_string("op x add 4\ndep y x\n")),
+        parse_error);
+}
+
+TEST(GraphIo, CycleRejectedWithLineNumber)
+{
+    try {
+        static_cast<void>(parse_graph_string(
+            "op a add 4\nop b add 4\ndep a b\ndep b a\n"));
+        FAIL() << "should have thrown";
+    } catch (const parse_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    }
+}
+
+TEST(GraphIo, SelfDependencyRejected)
+{
+    EXPECT_THROW(
+        static_cast<void>(parse_graph_string("op a add 4\ndep a a\n")),
+        parse_error);
+}
+
+TEST(GraphIo, RoundTripPreservesStructure)
+{
+    rng random(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        tgff_options opts;
+        opts.n_ops = 12;
+        const sequencing_graph original = generate_tgff(opts, random);
+        const sequencing_graph copy =
+            parse_graph_string(write_graph(original));
+        ASSERT_EQ(copy.size(), original.size());
+        ASSERT_EQ(copy.edge_count(), original.edge_count());
+        for (const op_id o : original.all_ops()) {
+            EXPECT_EQ(copy.shape(o), original.shape(o));
+            const auto so = original.successors(o);
+            const auto sc = copy.successors(o);
+            ASSERT_EQ(so.size(), sc.size());
+            for (std::size_t i = 0; i < so.size(); ++i) {
+                EXPECT_EQ(so[i], sc[i]);
+            }
+        }
+    }
+}
+
+TEST(GraphIo, WriterNamesUnnamedOpsStably)
+{
+    sequencing_graph g;
+    g.add_operation(op_shape::adder(4)); // unnamed
+    g.add_operation(op_shape::multiplier(6, 6), "named");
+    const std::string text = write_graph(g);
+    EXPECT_NE(text.find("op o0 add 4"), std::string::npos);
+    EXPECT_NE(text.find("op named mul 6 6"), std::string::npos);
+}
+
+TEST(GraphIo, EmptyInputYieldsEmptyGraph)
+{
+    EXPECT_TRUE(parse_graph_string("").empty());
+}
+
+} // namespace
+} // namespace mwl

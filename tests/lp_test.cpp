@@ -1,0 +1,398 @@
+// Unit tests for src/lp: the problem builder, the bounded-variable primal
+// simplex on hand-checkable LPs, and branch-and-bound cross-validated
+// against explicit enumeration on random small integer programs.
+
+#include "lp/branch_bound.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mwl {
+namespace {
+
+// ------------------------------------------------------------ builder --
+
+TEST(LpProblem, AddVariableValidatesBounds)
+{
+    lp_problem p;
+    EXPECT_THROW(p.add_variable(1.0, 2.0, 1.0), precondition_error);
+    EXPECT_THROW(
+        p.add_variable(1.0, 0.0, std::numeric_limits<double>::infinity()),
+        precondition_error);
+    EXPECT_EQ(p.add_variable(1.0, 0.0, 5.0), 0u);
+    EXPECT_EQ(p.n_vars(), 1u);
+}
+
+TEST(LpProblem, AddRowValidatesIndices)
+{
+    lp_problem p;
+    p.add_variable(1.0, 0.0, 1.0);
+    lp_row row;
+    row.terms = {{3, 1.0}};
+    EXPECT_THROW(p.add_row(row), precondition_error);
+}
+
+TEST(LpProblem, FeasibilityChecker)
+{
+    lp_problem p;
+    p.add_variable(1.0, 0.0, 10.0);
+    p.add_variable(1.0, 0.0, 10.0);
+    p.add_row({{{0, 1.0}, {1, 1.0}}, row_sense::le, 5.0});
+    EXPECT_TRUE(p.is_feasible({2.0, 3.0}));
+    EXPECT_FALSE(p.is_feasible({4.0, 3.0}));
+    EXPECT_FALSE(p.is_feasible({-1.0, 0.0}));
+    EXPECT_FALSE(p.is_feasible({1.0}));
+}
+
+// ------------------------------------------------------------ simplex --
+
+TEST(Simplex, UnconstrainedMinimumAtBounds)
+{
+    // min 2x - 3y, x in [1,4], y in [0,5]  ->  x=1, y=5.
+    lp_problem p;
+    p.add_variable(2.0, 1.0, 4.0);
+    p.add_variable(-3.0, 0.0, 5.0);
+    const lp_solution s = solve_lp(p);
+    ASSERT_EQ(s.status, lp_status::optimal);
+    EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+    EXPECT_NEAR(s.x[1], 5.0, 1e-9);
+    EXPECT_NEAR(s.objective, 2.0 - 15.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariableLp)
+{
+    // min -(3x + 5y) s.t. x <= 4; 2y <= 12; 3x + 2y <= 18; x,y >= 0.
+    // Known optimum (x=2, y=6), objective -36.
+    lp_problem p;
+    p.add_variable(-3.0, 0.0, 100.0);
+    p.add_variable(-5.0, 0.0, 100.0);
+    p.add_row({{{0, 1.0}}, row_sense::le, 4.0});
+    p.add_row({{{1, 2.0}}, row_sense::le, 12.0});
+    p.add_row({{{0, 3.0}, {1, 2.0}}, row_sense::le, 18.0});
+    const lp_solution s = solve_lp(p);
+    ASSERT_EQ(s.status, lp_status::optimal);
+    EXPECT_NEAR(s.x[0], 2.0, 1e-7);
+    EXPECT_NEAR(s.x[1], 6.0, 1e-7);
+    EXPECT_NEAR(s.objective, -36.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint)
+{
+    // min x + 2y s.t. x + y = 3, x,y in [0,10]  ->  x=3, y=0.
+    lp_problem p;
+    p.add_variable(1.0, 0.0, 10.0);
+    p.add_variable(2.0, 0.0, 10.0);
+    p.add_row({{{0, 1.0}, {1, 1.0}}, row_sense::eq, 3.0});
+    const lp_solution s = solve_lp(p);
+    ASSERT_EQ(s.status, lp_status::optimal);
+    EXPECT_NEAR(s.x[0], 3.0, 1e-7);
+    EXPECT_NEAR(s.x[1], 0.0, 1e-7);
+    EXPECT_NEAR(s.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualConstraint)
+{
+    // min x + y s.t. x + 2y >= 4, x,y in [0,10] -> y=2, x=0.
+    lp_problem p;
+    p.add_variable(1.0, 0.0, 10.0);
+    p.add_variable(1.0, 0.0, 10.0);
+    p.add_row({{{0, 1.0}, {1, 2.0}}, row_sense::ge, 4.0});
+    const lp_solution s = solve_lp(p);
+    ASSERT_EQ(s.status, lp_status::optimal);
+    EXPECT_NEAR(s.objective, 2.0, 1e-7);
+    EXPECT_NEAR(s.x[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility)
+{
+    // x <= 1 and x >= 2 cannot both hold.
+    lp_problem p;
+    p.add_variable(1.0, 0.0, 10.0);
+    p.add_row({{{0, 1.0}}, row_sense::le, 1.0});
+    p.add_row({{{0, 1.0}}, row_sense::ge, 2.0});
+    EXPECT_EQ(solve_lp(p).status, lp_status::infeasible);
+}
+
+TEST(Simplex, InfeasibleBoundsShortCircuit)
+{
+    lp_problem p;
+    p.add_variable(1.0, 0.0, 10.0);
+    const std::vector<double> lo{5.0};
+    const std::vector<double> hi{4.0};
+    EXPECT_EQ(solve_lp(p, {}, lo, hi).status, lp_status::infeasible);
+}
+
+TEST(Simplex, BoundOverridesApply)
+{
+    lp_problem p;
+    p.add_variable(-1.0, 0.0, 10.0); // min -x -> x at upper
+    const std::vector<double> lo{0.0};
+    const std::vector<double> hi{3.0};
+    const lp_solution s = solve_lp(p, {}, lo, hi);
+    ASSERT_EQ(s.status, lp_status::optimal);
+    EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBoundsWork)
+{
+    // min x s.t. x + y >= -2, x in [-5,5], y in [-1,1] -> x=-1 at y=1...
+    // actually x >= -2 - y >= -3, and x's own bound is -5 -> optimum -3.
+    lp_problem p;
+    p.add_variable(1.0, -5.0, 5.0);
+    p.add_variable(0.0, -1.0, 1.0);
+    p.add_row({{{0, 1.0}, {1, 1.0}}, row_sense::ge, -2.0});
+    const lp_solution s = solve_lp(p);
+    ASSERT_EQ(s.status, lp_status::optimal);
+    EXPECT_NEAR(s.objective, -3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates)
+{
+    // Multiple redundant constraints through one vertex.
+    lp_problem p;
+    p.add_variable(-1.0, 0.0, 10.0);
+    p.add_variable(-1.0, 0.0, 10.0);
+    p.add_row({{{0, 1.0}, {1, 1.0}}, row_sense::le, 4.0});
+    p.add_row({{{0, 2.0}, {1, 2.0}}, row_sense::le, 8.0});
+    p.add_row({{{0, 1.0}}, row_sense::le, 4.0});
+    p.add_row({{{1, 1.0}}, row_sense::le, 4.0});
+    const lp_solution s = solve_lp(p);
+    ASSERT_EQ(s.status, lp_status::optimal);
+    EXPECT_NEAR(s.objective, -4.0, 1e-7);
+}
+
+TEST(Simplex, DuplicateTermsAccumulate)
+{
+    // x + x <= 4  ==  2x <= 4.
+    lp_problem p;
+    p.add_variable(-1.0, 0.0, 10.0);
+    p.add_row({{{0, 1.0}, {0, 1.0}}, row_sense::le, 4.0});
+    const lp_solution s = solve_lp(p);
+    ASSERT_EQ(s.status, lp_status::optimal);
+    EXPECT_NEAR(s.x[0], 2.0, 1e-7);
+}
+
+TEST(Simplex, SolutionIsAlwaysFeasible)
+{
+    rng random(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        lp_problem p;
+        const int nv = random.uniform_int(1, 5);
+        for (int v = 0; v < nv; ++v) {
+            p.add_variable(random.uniform_int(0, 10) - 5.0, 0.0,
+                           random.uniform_int(1, 8));
+        }
+        const int nr = random.uniform_int(1, 4);
+        for (int r = 0; r < nr; ++r) {
+            lp_row row;
+            for (int v = 0; v < nv; ++v) {
+                if (random.chance(0.7)) {
+                    row.terms.emplace_back(
+                        static_cast<std::size_t>(v),
+                        random.uniform_int(0, 6) - 3.0);
+                }
+            }
+            if (row.terms.empty()) {
+                continue;
+            }
+            row.sense = random.chance(0.5) ? row_sense::le : row_sense::ge;
+            row.rhs = random.uniform_int(0, 20) - 10.0;
+            p.add_row(row);
+        }
+        const lp_solution s = solve_lp(p);
+        if (s.status == lp_status::optimal) {
+            EXPECT_TRUE(p.is_feasible(s.x, 1e-5)) << "trial " << trial;
+        }
+    }
+}
+
+// ---------------------------------------------------- branch and bound --
+
+TEST(Mip, IntegerRoundingBeatsNaiveTruncation)
+{
+    // min -(x + y) s.t. 2x + 2y <= 5, x,y integer in [0,2].
+    // LP relaxation: x+y = 2.5; best integral: 2.
+    lp_problem p;
+    p.add_variable(-1.0, 0.0, 2.0, var_kind::integer);
+    p.add_variable(-1.0, 0.0, 2.0, var_kind::integer);
+    p.add_row({{{0, 2.0}, {1, 2.0}}, row_sense::le, 5.0});
+    const mip_solution s = solve_mip(p);
+    ASSERT_EQ(s.status, mip_status::optimal);
+    EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(Mip, KnapsackOptimum)
+{
+    // max 10a + 13b + 7c (min negative), weights 3,4,2, capacity 6,
+    // binaries. Best: b + c = 20 (weight 6).
+    lp_problem p;
+    p.add_binary(-10.0);
+    p.add_binary(-13.0);
+    p.add_binary(-7.0);
+    p.add_row({{{0, 3.0}, {1, 4.0}, {2, 2.0}}, row_sense::le, 6.0});
+    const mip_solution s = solve_mip(p);
+    ASSERT_EQ(s.status, mip_status::optimal);
+    EXPECT_NEAR(s.objective, -20.0, 1e-9);
+    EXPECT_NEAR(s.x[1], 1.0, 1e-9);
+    EXPECT_NEAR(s.x[2], 1.0, 1e-9);
+}
+
+TEST(Mip, InfeasibleIntegrality)
+{
+    // 2x = 3 has no integer solution in [0, 5].
+    lp_problem p;
+    p.add_variable(1.0, 0.0, 5.0, var_kind::integer);
+    p.add_row({{{0, 2.0}}, row_sense::eq, 3.0});
+    EXPECT_EQ(solve_mip(p).status, mip_status::infeasible);
+}
+
+TEST(Mip, MixedIntegerContinuous)
+{
+    // min x + y, x integer, s.t. x + y >= 2.5, x in [0,5], y in [0,0.4].
+    // y maxes at 0.4 -> x >= 2.1 -> x = 3? No: x integer >= 2.1 -> 3;
+    // but x=2, y=0.5 impossible. Optimum: x=3, y=0 -> wait x+y>=2.5 with
+    // x=2,y=0.4 gives 2.4 < 2.5. So x=3,y=0: objective 3. Check y=0.4,
+    // x=2.1 -> x=3 still. Objective = 3.
+    lp_problem p;
+    p.add_variable(1.0, 0.0, 5.0, var_kind::integer);
+    p.add_variable(1.0, 0.0, 0.4);
+    p.add_row({{{0, 1.0}, {1, 1.0}}, row_sense::ge, 2.5});
+    const mip_solution s = solve_mip(p);
+    ASSERT_EQ(s.status, mip_status::optimal);
+    EXPECT_NEAR(s.objective, 3.0, 1e-6);
+}
+
+TEST(Mip, CutoffPrunesWorseSolutions)
+{
+    lp_problem p;
+    p.add_binary(-5.0);
+    mip_options opt;
+    opt.cutoff = -10.0; // better than anything achievable
+    const mip_solution s = solve_mip(p, opt);
+    EXPECT_EQ(s.status, mip_status::infeasible); // nothing beats the cutoff
+}
+
+TEST(Mip, NodeLimitReported)
+{
+    // A problem needing branching with max_nodes = 1.
+    lp_problem p;
+    p.add_variable(-1.0, 0.0, 3.0, var_kind::integer);
+    p.add_variable(-1.0, 0.0, 3.0, var_kind::integer);
+    p.add_row({{{0, 2.0}, {1, 2.0}}, row_sense::le, 3.0});
+    mip_options opt;
+    opt.max_nodes = 1;
+    const mip_solution s = solve_mip(p, opt);
+    EXPECT_TRUE(s.status == mip_status::limit_feasible ||
+                s.status == mip_status::limit_nofeasible);
+}
+
+TEST(Mip, SolutionIsIntegral)
+{
+    rng random(7);
+    for (int trial = 0; trial < 30; ++trial) {
+        lp_problem p;
+        const int nv = random.uniform_int(1, 4);
+        for (int v = 0; v < nv; ++v) {
+            p.add_variable(random.uniform_int(0, 8) - 4.0, 0.0,
+                           random.uniform_int(1, 3), var_kind::integer);
+        }
+        lp_row row;
+        for (int v = 0; v < nv; ++v) {
+            row.terms.emplace_back(static_cast<std::size_t>(v),
+                                   random.uniform_int(1, 3));
+        }
+        row.sense = row_sense::le;
+        row.rhs = random.uniform_int(1, 6);
+        p.add_row(row);
+        const mip_solution s = solve_mip(p);
+        if (s.status != mip_status::optimal) {
+            continue;
+        }
+        for (int v = 0; v < nv; ++v) {
+            const double x = s.x[static_cast<std::size_t>(v)];
+            EXPECT_NEAR(x, std::round(x), 1e-9);
+        }
+        EXPECT_TRUE(p.is_feasible(s.x, 1e-6));
+    }
+}
+
+/// Exhaustive reference: enumerate every integer point of the box.
+double enumerate_optimum(const lp_problem& p, bool& found)
+{
+    std::vector<double> x(p.n_vars(), 0.0);
+    double best = std::numeric_limits<double>::infinity();
+    found = false;
+    const std::size_t n = p.n_vars();
+    std::vector<int> point(n);
+    const auto recurse = [&](auto&& self, std::size_t depth) -> void {
+        if (depth == n) {
+            for (std::size_t v = 0; v < n; ++v) {
+                x[v] = point[v];
+            }
+            if (p.is_feasible(x, 1e-9)) {
+                found = true;
+                best = std::min(best, p.objective_of(x));
+            }
+            return;
+        }
+        for (int v = static_cast<int>(p.lower(depth));
+             v <= static_cast<int>(p.upper(depth)); ++v) {
+            point[depth] = v;
+            self(self, depth + 1);
+        }
+    };
+    recurse(recurse, 0);
+    return best;
+}
+
+TEST(Mip, MatchesExhaustiveEnumerationOnRandomIps)
+{
+    rng random(99);
+    for (int trial = 0; trial < 60; ++trial) {
+        lp_problem p;
+        const int nv = random.uniform_int(2, 5);
+        for (int v = 0; v < nv; ++v) {
+            p.add_variable(random.uniform_int(0, 12) - 6.0, 0.0,
+                           random.uniform_int(1, 3), var_kind::integer);
+        }
+        const int nr = random.uniform_int(1, 3);
+        for (int r = 0; r < nr; ++r) {
+            lp_row row;
+            for (int v = 0; v < nv; ++v) {
+                const int coeff = random.uniform_int(0, 8) - 4;
+                if (coeff != 0) {
+                    row.terms.emplace_back(static_cast<std::size_t>(v),
+                                           coeff);
+                }
+            }
+            if (row.terms.empty()) {
+                continue;
+            }
+            const int pick = random.uniform_int(0, 2);
+            row.sense = pick == 0   ? row_sense::le
+                        : pick == 1 ? row_sense::ge
+                                    : row_sense::eq;
+            row.rhs = random.uniform_int(0, 10) - 5;
+            p.add_row(row);
+        }
+
+        bool reachable = false;
+        const double reference = enumerate_optimum(p, reachable);
+        const mip_solution s = solve_mip(p);
+        if (reachable) {
+            ASSERT_EQ(s.status, mip_status::optimal) << "trial " << trial;
+            EXPECT_NEAR(s.objective, reference, 1e-6) << "trial " << trial;
+        } else {
+            EXPECT_EQ(s.status, mip_status::infeasible) << "trial " << trial;
+        }
+    }
+}
+
+} // namespace
+} // namespace mwl

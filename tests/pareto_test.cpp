@@ -1,0 +1,127 @@
+// Unit tests for src/core/pareto.hpp: frontier shape, dominance, validity
+// of every point, and early stopping.
+
+#include "core/pareto.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "support/error.hpp"
+#include "tgff/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwl {
+namespace {
+
+sequencing_graph fig1_graph()
+{
+    sequencing_graph g;
+    const op_id m1 = g.add_operation(op_shape::multiplier(12, 12), "m1");
+    const op_id m2 = g.add_operation(op_shape::multiplier(8, 4), "m2");
+    const op_id a = g.add_operation(op_shape::adder(12), "a");
+    g.add_dependency(m1, a);
+    g.add_dependency(m2, a);
+    return g;
+}
+
+TEST(Pareto, Fig1FrontierHasBothKnownDesigns)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const auto frontier = pareto_sweep(g, model);
+    ASSERT_GE(frontier.size(), 2u);
+    // Fastest point: lambda_min design, area 188; a later point reaches
+    // the shared-multiplier design at 156.
+    EXPECT_EQ(frontier.front().latency, 5);
+    EXPECT_DOUBLE_EQ(frontier.front().area, 188.0);
+    EXPECT_DOUBLE_EQ(frontier.back().area, 156.0);
+}
+
+TEST(Pareto, FrontierIsStrictlyMonotone)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(10, 5, model, 41);
+    for (const corpus_entry& e : corpus) {
+        const auto frontier = pareto_sweep(e.graph, model);
+        ASSERT_FALSE(frontier.empty());
+        for (std::size_t i = 1; i < frontier.size(); ++i) {
+            EXPECT_GT(frontier[i].latency, frontier[i - 1].latency);
+            EXPECT_LT(frontier[i].area, frontier[i - 1].area);
+        }
+    }
+}
+
+TEST(Pareto, EveryPointIsValidAtItsLambda)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(8, 5, model, 43);
+    for (const corpus_entry& e : corpus) {
+        const auto frontier = pareto_sweep(e.graph, model);
+        for (const pareto_point& p : frontier) {
+            require_valid(e.graph, model, p.path, p.lambda);
+            EXPECT_LE(p.latency, p.lambda);
+            EXPECT_GE(p.lambda, e.lambda_min);
+        }
+    }
+}
+
+TEST(Pareto, FirstPointIsAtLambdaMin)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(6, 5, model, 47);
+    for (const corpus_entry& e : corpus) {
+        const auto frontier = pareto_sweep(e.graph, model);
+        EXPECT_EQ(frontier.front().lambda, e.lambda_min);
+    }
+}
+
+TEST(Pareto, EmptyGraphYieldsEmptyFrontier)
+{
+    sequencing_graph g;
+    const sonic_model model;
+    EXPECT_TRUE(pareto_sweep(g, model).empty());
+}
+
+TEST(Pareto, ZeroSlackYieldsSinglePoint)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    pareto_options opts;
+    opts.max_slack = 0.0;
+    const auto frontier = pareto_sweep(g, model, opts);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].lambda, 5);
+}
+
+TEST(Pareto, InvalidOptionsThrow)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    pareto_options opts;
+    opts.max_slack = -0.5;
+    EXPECT_THROW(static_cast<void>(pareto_sweep(g, model, opts)),
+                 precondition_error);
+    opts = {};
+    opts.patience = 0;
+    EXPECT_THROW(static_cast<void>(pareto_sweep(g, model, opts)),
+                 precondition_error);
+}
+
+TEST(Pareto, UniformModelFrontierIsSinglePointWhenNoTradeExists)
+{
+    // With uniform latencies there is no latency-for-area trade at all on
+    // a serial chain: the frontier collapses.
+    sequencing_graph g;
+    op_id prev = g.add_operation(op_shape::adder(8));
+    for (int i = 0; i < 3; ++i) {
+        const op_id next = g.add_operation(op_shape::adder(8));
+        g.add_dependency(prev, next);
+        prev = next;
+    }
+    const uniform_latency_model model(2);
+    const auto frontier = pareto_sweep(g, model);
+    EXPECT_EQ(frontier.size(), 1u);
+}
+
+} // namespace
+} // namespace mwl

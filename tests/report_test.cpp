@@ -1,0 +1,70 @@
+// Unit tests for src/report: aligned table and CSV rendering.
+
+#include "report/table.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mwl {
+namespace {
+
+TEST(Table, AlignedOutputContainsHeaderRuleAndRows)
+{
+    table t("demo");
+    t.header({"col", "value"});
+    t.row({"a", "1"});
+    t.row({"bb", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("== demo =="), std::string::npos);
+    EXPECT_NE(text.find("col"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    EXPECT_NE(text.find("bb"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows)
+{
+    table t;
+    t.header({"a", "b"});
+    EXPECT_THROW(t.row({"only-one"}), precondition_error);
+}
+
+TEST(Table, EmptyHeaderThrows)
+{
+    table t;
+    EXPECT_THROW(t.header({}), precondition_error);
+}
+
+TEST(Table, NumFormatsDoubles)
+{
+    EXPECT_EQ(table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(table::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(table::num(42), "42");
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    table t;
+    t.header({"name", "value"});
+    t.row({"a,b", "3"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "name,value\n\"a,b\",3\n");
+}
+
+TEST(Table, CsvHeaderFirst)
+{
+    table t;
+    t.header({"x"});
+    t.row({"1"});
+    t.row({"2"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "x\n1\n2\n");
+}
+
+} // namespace
+} // namespace mwl

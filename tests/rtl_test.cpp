@@ -1,0 +1,294 @@
+// Unit tests for src/rtl: value lifetimes, left-edge register allocation
+// (optimal for interval graphs: register count == max live values), mux
+// derivation, the extended area model, and Verilog emission.
+
+#include "core/dpalloc.hpp"
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/verilog.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tgff/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mwl {
+namespace {
+
+sequencing_graph fig1_graph()
+{
+    sequencing_graph g;
+    const op_id m1 = g.add_operation(op_shape::multiplier(12, 12), "m1");
+    const op_id m2 = g.add_operation(op_shape::multiplier(8, 4), "m2");
+    const op_id a = g.add_operation(op_shape::adder(12), "a");
+    g.add_dependency(m1, a);
+    g.add_dependency(m2, a);
+    return g;
+}
+
+// ----------------------------------------------------------- lifetimes --
+
+TEST(Lifetimes, ResultWidths)
+{
+    EXPECT_EQ(result_width(op_shape::adder(9)), 9);
+    EXPECT_EQ(result_width(op_shape::multiplier(12, 8)), 20);
+}
+
+TEST(Lifetimes, BirthAtFinishDeathAtLastConsumer)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const auto lifetimes = compute_lifetimes(g, r.path);
+    ASSERT_EQ(lifetimes.size(), 3u);
+    for (const value_lifetime& v : lifetimes) {
+        EXPECT_EQ(v.birth, r.path.start[v.producer.value()] +
+                               r.path.bound_latency(v.producer));
+        EXPECT_GT(v.death, v.birth); // at least one cycle of storage
+    }
+    // m1 feeds the adder: the value must survive until the adder has
+    // *finished* sampling it.
+    EXPECT_EQ(lifetimes[0].death,
+              std::max(r.path.start[2] + r.path.bound_latency(op_id(2)),
+                       lifetimes[0].birth + 1));
+}
+
+TEST(Lifetimes, PrimaryOutputLivesToScheduleEnd)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const auto lifetimes = compute_lifetimes(g, r.path);
+    // The output register holds the result at least one cycle past the
+    // producer's finish, even when that finish is the schedule end.
+    EXPECT_EQ(lifetimes[2].death,
+              std::max(r.path.latency, lifetimes[2].birth + 1));
+}
+
+TEST(LeftEdge, CountEqualsMaxOverlap)
+{
+    // Classic left-edge optimality on hand-built lifetimes.
+    std::vector<value_lifetime> lts{
+        {op_id(0), 0, 4, 8},  // |----|
+        {op_id(1), 1, 3, 8},  //  |--|
+        {op_id(2), 3, 6, 8},  //    |---|
+        {op_id(3), 4, 7, 8},  //     |---|
+    };
+    const auto regs = left_edge_allocate(lts);
+    // max overlap: at t in [1,3): values 0,1 -> 2; at t=4..5: 2,3 -> 2.
+    EXPECT_EQ(regs.size(), 2u);
+}
+
+TEST(LeftEdge, DisjointLifetimesShareOneRegister)
+{
+    std::vector<value_lifetime> lts{
+        {op_id(0), 0, 2, 4},
+        {op_id(1), 2, 4, 9},
+        {op_id(2), 4, 6, 6},
+    };
+    const auto regs = left_edge_allocate(lts);
+    ASSERT_EQ(regs.size(), 1u);
+    EXPECT_EQ(regs[0].width, 9); // widest value
+    EXPECT_EQ(regs[0].values.size(), 3u);
+}
+
+TEST(LeftEdge, RegisterCountMatchesMaxLiveValuesOnRandomDatapaths)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(12, 10, model, 91);
+    for (const corpus_entry& e : corpus) {
+        const int lambda = relaxed_lambda(e.lambda_min, 0.2);
+        const dpalloc_result r = dpalloc(e.graph, model, lambda);
+        const auto lts = compute_lifetimes(e.graph, r.path);
+        const auto regs = left_edge_allocate(lts);
+        // Independent recomputation of the max number of live values.
+        std::size_t max_live = 0;
+        for (int t = 0; t <= r.path.latency; ++t) {
+            std::size_t live = 0;
+            for (const value_lifetime& v : lts) {
+                live += (v.birth <= t && t < v.death) ? 1u : 0u;
+            }
+            max_live = std::max(max_live, live);
+        }
+        EXPECT_EQ(regs.size(), max_live);
+    }
+}
+
+TEST(LeftEdge, EachValueAssignedExactlyOnce)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 5);
+    const auto lts = compute_lifetimes(g, r.path);
+    const auto regs = left_edge_allocate(lts);
+    std::vector<int> seen(lts.size(), 0);
+    for (const rtl_register& reg : regs) {
+        int last_death = -1;
+        for (const std::size_t vi : reg.values) {
+            ++seen[vi];
+            // values on one register must be time-disjoint, in order
+            EXPECT_GE(lts[vi].birth, last_death);
+            last_death = lts[vi].death;
+        }
+    }
+    for (const int s : seen) {
+        EXPECT_EQ(s, 1);
+    }
+}
+
+// -------------------------------------------------------------- netlist --
+
+TEST(Netlist, AreasDecomposeAndAddUp)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    EXPECT_DOUBLE_EQ(net.fu_area, r.path.total_area);
+    EXPECT_GT(net.register_area, 0.0);
+    EXPECT_DOUBLE_EQ(net.total_area(),
+                     net.fu_area + net.register_area + net.mux_area);
+}
+
+TEST(Netlist, SharedInstanceGetsOperandMuxes)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    // lambda = 8: both mults share the 12x12 -> its ports see two sources.
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    bool has_multi_input_fu_mux = false;
+    for (const rtl_mux& mux : net.muxes) {
+        if (mux.feeds_fu && mux.fan_in >= 2) {
+            has_multi_input_fu_mux = true;
+        }
+    }
+    EXPECT_TRUE(has_multi_input_fu_mux);
+}
+
+TEST(Netlist, UnsharedDesignHasNoFuMuxCost)
+{
+    // Single op: one FU, one register, no multi-input muxes.
+    sequencing_graph g;
+    g.add_operation(op_shape::multiplier(8, 8));
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 2);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    EXPECT_DOUBLE_EQ(net.mux_area, 0.0);
+    EXPECT_EQ(net.registers.size(), 1u);
+}
+
+TEST(Netlist, CostModelScalesLinearly)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    rtl_cost_model base;
+    rtl_cost_model doubled;
+    doubled.area_per_register_bit = base.area_per_register_bit * 2;
+    doubled.area_per_mux_input_bit = base.area_per_mux_input_bit * 2;
+    const rtl_netlist n1 = build_rtl(g, model, r.path, base);
+    const rtl_netlist n2 = build_rtl(g, model, r.path, doubled);
+    EXPECT_DOUBLE_EQ(n2.register_area, 2.0 * n1.register_area);
+    EXPECT_DOUBLE_EQ(n2.mux_area, 2.0 * n1.mux_area);
+}
+
+// -------------------------------------------------------------- verilog --
+
+TEST(Verilog, ContainsModuleSkeleton)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    const std::string v = to_verilog(g, r.path, net, "fig1");
+    EXPECT_NE(v.find("module fig1 ("), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+    EXPECT_NE(v.find("input  wire clk"), std::string::npos);
+    EXPECT_NE(v.find("assign done"), std::string::npos);
+}
+
+TEST(Verilog, DeclaresEveryRegisterAndFu)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    const std::string v = to_verilog(g, r.path, net, "fig1");
+    for (std::size_t i = 0; i < net.registers.size(); ++i) {
+        EXPECT_NE(v.find(" r" + std::to_string(i) + ";"),
+                  std::string::npos);
+    }
+    for (std::size_t i = 0; i < r.path.instances.size(); ++i) {
+        EXPECT_NE(v.find("fu" + std::to_string(i) + "_y"),
+                  std::string::npos);
+    }
+}
+
+TEST(Verilog, PrimaryIoMatchesGraphShape)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    const std::string v = to_verilog(g, r.path, net, "fig1");
+    // Sources m1, m2 take two external operands each; adder output is the
+    // only primary output.
+    EXPECT_NE(v.find("in_o0_0"), std::string::npos);
+    EXPECT_NE(v.find("in_o0_1"), std::string::npos);
+    EXPECT_NE(v.find("in_o1_0"), std::string::npos);
+    EXPECT_NE(v.find("out_o2"), std::string::npos);
+    EXPECT_EQ(v.find("out_o0"), std::string::npos);
+}
+
+TEST(Verilog, MultiplierUsesStarAdderUsesPlus)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    const std::string v = to_verilog(g, r.path, net, "fig1");
+    EXPECT_NE(v.find("_a * "), std::string::npos);
+    EXPECT_NE(v.find("_a + "), std::string::npos);
+}
+
+TEST(Verilog, EmptyModuleNameThrows)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    EXPECT_THROW(static_cast<void>(to_verilog(g, r.path, net, "")),
+                 precondition_error);
+}
+
+TEST(Verilog, BalancedBeginEnd)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(10, 3, model, 17);
+    for (const corpus_entry& e : corpus) {
+        const dpalloc_result r =
+            dpalloc(e.graph, model,
+                    relaxed_lambda(e.lambda_min, 0.2));
+        const rtl_netlist net = build_rtl(e.graph, model, r.path);
+        const std::string v = to_verilog(e.graph, r.path, net, "dut");
+        std::size_t begins = 0;
+        std::size_t ends = 0;
+        for (std::size_t pos = 0;
+             (pos = v.find("begin", pos)) != std::string::npos; ++pos) {
+            ++begins;
+        }
+        for (std::size_t pos = 0;
+             (pos = v.find("end", pos)) != std::string::npos; ++pos) {
+            ++ends;
+        }
+        // every "begin" has an "end"; "endcase"/"endmodule" add more ends.
+        EXPECT_GE(ends, begins);
+    }
+}
+
+} // namespace
+} // namespace mwl

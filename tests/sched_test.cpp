@@ -1,0 +1,411 @@
+// Unit tests for src/sched: minimum scheduling set (paper §2.2), classic
+// list scheduling (Eqn. 2), incomplete-wordlength scheduling (Eqn. 3') and
+// force-directed scheduling.
+
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/incomplete_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/priorities.hpp"
+#include "sched/scheduling_set.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tgff/generator.hpp"
+#include "wcg/wcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mwl {
+namespace {
+
+sequencing_graph fig2_graph()
+{
+    sequencing_graph g;
+    const op_id o1 = g.add_operation(op_shape::multiplier(12, 8), "o1");
+    const op_id o2 = g.add_operation(op_shape::multiplier(20, 18), "o2");
+    const op_id o3 = g.add_operation(op_shape::adder(12), "o3");
+    g.add_dependency(o1, o3);
+    g.add_dependency(o2, o3);
+    return g;
+}
+
+/// Checks start times against data dependencies under `latencies`.
+void expect_precedence_ok(const sequencing_graph& g,
+                          const std::vector<int>& lat,
+                          const std::vector<int>& start)
+{
+    for (const op_id o : g.all_ops()) {
+        EXPECT_GE(start[o.value()], 0);
+        for (const op_id s : g.successors(o)) {
+            EXPECT_LE(start[o.value()] + lat[o.value()], start[s.value()]);
+        }
+    }
+}
+
+// ----------------------------------------------------- scheduling set --
+
+TEST(SchedulingSet, Fig2NeedsOneMultiplierAndOneAdder)
+{
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    const scheduling_set_result cover = min_scheduling_set(wcg);
+    EXPECT_TRUE(cover.proven_minimum);
+    ASSERT_EQ(cover.members.size(), 2u);
+    // The 20x18 multiplier covers both multiplications.
+    std::vector<op_shape> shapes;
+    for (const res_id r : cover.members) {
+        shapes.push_back(wcg.resource(r));
+    }
+    EXPECT_TRUE(std::find(shapes.begin(), shapes.end(),
+                          op_shape::multiplier(20, 18)) != shapes.end());
+    EXPECT_TRUE(std::find(shapes.begin(), shapes.end(),
+                          op_shape::adder(12)) != shapes.end());
+}
+
+TEST(SchedulingSet, PaperExampleEdgeDeletionForcesTwoMultipliers)
+{
+    // §2.2: after deleting {o1, '20x18 mult'} the graph cannot be covered
+    // by one multiplier type any more.
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    wordlength_compatibility_graph wcg(g, model);
+    res_id big = res_id::invalid();
+    for (const res_id r : wcg.all_resources()) {
+        if (wcg.resource(r) == op_shape::multiplier(20, 18)) {
+            big = r;
+        }
+    }
+    wcg.delete_edge(op_id(0), big);
+    const scheduling_set_result cover = min_scheduling_set(wcg);
+    EXPECT_TRUE(cover.proven_minimum);
+    EXPECT_EQ(cover.members.size(), 3u); // two mult types + adder
+}
+
+TEST(SchedulingSet, EveryOpCoveredByResult)
+{
+    rng random(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        tgff_options opts;
+        opts.n_ops = 12;
+        const sequencing_graph g = generate_tgff(opts, random);
+        const sonic_model model;
+        const wordlength_compatibility_graph wcg(g, model);
+        const scheduling_set_result cover = min_scheduling_set(wcg);
+        for (const op_id o : g.all_ops()) {
+            bool covered = false;
+            for (const res_id s : cover.members) {
+                covered = covered || wcg.compatible(o, s);
+            }
+            EXPECT_TRUE(covered) << "trial " << trial << " op " << o.value();
+        }
+    }
+}
+
+TEST(SchedulingSet, MinimumIsNotLargerThanDistinctKindCountWhenJoinsCover)
+{
+    // All multiplications coverable by the global join -> one member per
+    // kind suffices and the exact solver must find it.
+    sequencing_graph g;
+    g.add_operation(op_shape::multiplier(4, 4));
+    g.add_operation(op_shape::multiplier(8, 6));
+    g.add_operation(op_shape::multiplier(10, 2));
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    const scheduling_set_result cover = min_scheduling_set(wcg);
+    EXPECT_TRUE(cover.proven_minimum);
+    EXPECT_EQ(cover.members.size(), 1u);
+}
+
+TEST(SchedulingSet, EmptyGraphYieldsEmptySet)
+{
+    sequencing_graph g;
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    EXPECT_TRUE(min_scheduling_set(wcg).members.empty());
+}
+
+// ---------------------------------------------------------- priorities --
+
+TEST(Priorities, SinkHasItsOwnLatency)
+{
+    const sequencing_graph g = fig2_graph();
+    const std::vector<int> lat{3, 5, 2};
+    const std::vector<int> prio = critical_path_priorities(g, lat);
+    EXPECT_EQ(prio[2], 2);     // sink
+    EXPECT_EQ(prio[0], 3 + 2); // through o3
+    EXPECT_EQ(prio[1], 5 + 2);
+}
+
+TEST(Priorities, ChainAccumulates)
+{
+    sequencing_graph g;
+    op_id prev = g.add_operation(op_shape::adder(4));
+    for (int i = 0; i < 3; ++i) {
+        const op_id next = g.add_operation(op_shape::adder(4));
+        g.add_dependency(prev, next);
+        prev = next;
+    }
+    const std::vector<int> lat{1, 2, 3, 4};
+    const std::vector<int> prio = critical_path_priorities(g, lat);
+    EXPECT_EQ(prio[0], 10);
+    EXPECT_EQ(prio[3], 4);
+}
+
+// ------------------------------------------------------ list scheduler --
+
+TEST(ListSchedule, UnlimitedResourcesReproduceAsap)
+{
+    const sequencing_graph g = fig2_graph();
+    const std::vector<int> lat{3, 5, 2};
+    const list_schedule_result res = list_schedule(g, lat, type_limits{});
+    EXPECT_EQ(res.start, asap_start_times(g, lat));
+    EXPECT_EQ(res.length, critical_path_length(g, lat));
+}
+
+TEST(ListSchedule, SingleMultiplierSerialisesMultiplications)
+{
+    const sequencing_graph g = fig2_graph();
+    const std::vector<int> lat{3, 5, 2};
+    type_limits limits;
+    limits.mul = 1;
+    const list_schedule_result res = list_schedule(g, lat, limits);
+    expect_precedence_ok(g, lat, res.start);
+    // o1 and o2 must not overlap.
+    const bool disjoint = res.start[0] + lat[0] <= res.start[1] ||
+                          res.start[1] + lat[1] <= res.start[0];
+    EXPECT_TRUE(disjoint);
+    EXPECT_GE(res.length, 3 + 5); // serialised mults then the add
+}
+
+TEST(ListSchedule, RespectsPerStepTypeLimit)
+{
+    // 4 independent adders, limit 2 -> no step may run more than 2.
+    sequencing_graph g;
+    for (int i = 0; i < 4; ++i) {
+        g.add_operation(op_shape::adder(8));
+    }
+    const std::vector<int> lat(4, 2);
+    type_limits limits;
+    limits.add = 2;
+    const list_schedule_result res = list_schedule(g, lat, limits);
+    for (int t = 0; t < res.length; ++t) {
+        int running = 0;
+        for (std::size_t o = 0; o < 4; ++o) {
+            if (res.start[o] <= t && t < res.start[o] + 2) {
+                ++running;
+            }
+        }
+        EXPECT_LE(running, 2);
+    }
+    EXPECT_EQ(res.length, 4); // two waves of two
+}
+
+TEST(ListSchedule, PriorityPrefersCriticalPath)
+{
+    // Two ready ops, one on a long chain: with limit 1 the chain head must
+    // go first.
+    sequencing_graph g;
+    const op_id chain_head = g.add_operation(op_shape::adder(8), "head");
+    const op_id chain_tail = g.add_operation(op_shape::adder(8), "tail");
+    const op_id loner = g.add_operation(op_shape::adder(8), "loner");
+    static_cast<void>(loner);
+    g.add_dependency(chain_head, chain_tail);
+    const std::vector<int> lat(3, 2);
+    type_limits limits;
+    limits.add = 1;
+    const list_schedule_result res = list_schedule(g, lat, limits);
+    EXPECT_EQ(res.start[chain_head.value()], 0);
+    EXPECT_EQ(res.length, 6);
+}
+
+TEST(ListSchedule, InvalidLimitsThrow)
+{
+    const sequencing_graph g = fig2_graph();
+    const std::vector<int> lat{3, 5, 2};
+    type_limits limits;
+    limits.mul = 0;
+    EXPECT_THROW(list_schedule(g, lat, limits), precondition_error);
+}
+
+TEST(ListSchedule, EmptyGraph)
+{
+    sequencing_graph g;
+    const list_schedule_result res = list_schedule(g, {}, type_limits{});
+    EXPECT_EQ(res.length, 0);
+    EXPECT_TRUE(res.start.empty());
+}
+
+// ------------------------------------------- incomplete-WL scheduler --
+
+TEST(IncompleteSchedule, Fig2SerialisesSharedMultiplierMember)
+{
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    const incomplete_schedule_result res = schedule_incomplete(wcg);
+    const std::vector<int> upper = wcg.latency_upper_bounds();
+    expect_precedence_ok(g, upper, res.start);
+    // Both mults map onto the single 20x18 member -> serialised at the
+    // upper-bound latency (5 each).
+    const bool disjoint =
+        res.start[0] + upper[0] <= res.start[1] ||
+        res.start[1] + upper[1] <= res.start[0];
+    EXPECT_TRUE(disjoint);
+    EXPECT_EQ(res.scheduling_set.size(), 2u);
+}
+
+TEST(IncompleteSchedule, CapacityTwoAllowsParallelism)
+{
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    const incomplete_schedule_result res = schedule_incomplete(wcg, 2);
+    // With two instances per member both mults start immediately.
+    EXPECT_EQ(res.start[0], 0);
+    EXPECT_EQ(res.start[1], 0);
+}
+
+TEST(IncompleteSchedule, FractionalSharingConstraintEnforced)
+{
+    // Verify Eqn. 3' accounting on every step of a random batch: for each
+    // member s, sum over running ops of 1/|S(o)| <= capacity.
+    rng random(123);
+    for (int trial = 0; trial < 10; ++trial) {
+        tgff_options opts;
+        opts.n_ops = 10;
+        const sequencing_graph g = generate_tgff(opts, random);
+        const sonic_model model;
+        const wordlength_compatibility_graph wcg(g, model);
+        const incomplete_schedule_result res = schedule_incomplete(wcg);
+        const std::vector<int> upper = wcg.latency_upper_bounds();
+        expect_precedence_ok(g, upper, res.start);
+
+        for (const res_id s : res.scheduling_set) {
+            for (int t = 0; t < res.length; ++t) {
+                double usage = 0.0;
+                for (const op_id o : g.all_ops()) {
+                    if (!wcg.compatible(o, s)) {
+                        continue;
+                    }
+                    if (res.start[o.value()] <= t &&
+                        t < res.start[o.value()] + upper[o.value()]) {
+                        int s_of_o = 0;
+                        for (const res_id m : res.scheduling_set) {
+                            s_of_o += wcg.compatible(o, m) ? 1 : 0;
+                        }
+                        usage += 1.0 / s_of_o;
+                    }
+                }
+                EXPECT_LE(usage, 1.0 + 1e-9)
+                    << "member " << s.value() << " step " << t;
+            }
+        }
+    }
+}
+
+TEST(IncompleteSchedule, EmptyGraph)
+{
+    sequencing_graph g;
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    const incomplete_schedule_result res = schedule_incomplete(wcg);
+    EXPECT_EQ(res.length, 0);
+}
+
+TEST(IncompleteSchedule, InvalidCapacityThrows)
+{
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    EXPECT_THROW(schedule_incomplete(wcg, 0), precondition_error);
+}
+
+TEST(IncompleteSchedule, DeterministicAcrossRuns)
+{
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    const wordlength_compatibility_graph wcg(g, model);
+    const incomplete_schedule_result a = schedule_incomplete(wcg);
+    const incomplete_schedule_result b = schedule_incomplete(wcg);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.scheduling_set, b.scheduling_set);
+}
+
+// ------------------------------------------------------ force-directed --
+
+TEST(ForceDirected, MeetsHorizonAndPrecedence)
+{
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    const std::vector<int> native = native_latencies(g, model);
+    const int cp = critical_path_length(g, native);
+    const std::vector<int> start = force_directed_schedule(g, native, cp + 2);
+    expect_precedence_ok(g, native, start);
+    EXPECT_LE(schedule_length(g, native, start), cp + 2);
+}
+
+TEST(ForceDirected, HorizonBelowCriticalPathThrows)
+{
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    const std::vector<int> native = native_latencies(g, model);
+    const int cp = critical_path_length(g, native);
+    EXPECT_THROW(force_directed_schedule(g, native, cp - 1),
+                 infeasible_error);
+}
+
+TEST(ForceDirected, SlackSpreadsIndependentOps)
+{
+    // 3 independent adders, horizon 6: balancing must avoid stacking all
+    // three at t=0 (expected occupancy flattens to one per 2-cycle slot).
+    sequencing_graph g;
+    for (int i = 0; i < 3; ++i) {
+        g.add_operation(op_shape::adder(8));
+    }
+    const std::vector<int> lat(3, 2);
+    const std::vector<int> start = force_directed_schedule(g, lat, 6);
+    std::vector<int> sorted = start;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 2, 4}));
+}
+
+TEST(ForceDirected, ZeroSlackReproducesCriticalSchedule)
+{
+    const sequencing_graph g = fig2_graph();
+    const sonic_model model;
+    const std::vector<int> native = native_latencies(g, model);
+    const int cp = critical_path_length(g, native);
+    const std::vector<int> start = force_directed_schedule(g, native, cp);
+    EXPECT_EQ(schedule_length(g, native, start), cp);
+}
+
+TEST(ForceDirected, RandomGraphsStayFeasible)
+{
+    rng random(321);
+    for (int trial = 0; trial < 10; ++trial) {
+        tgff_options opts;
+        opts.n_ops = 8;
+        const sequencing_graph g = generate_tgff(opts, random);
+        const sonic_model model;
+        const std::vector<int> native = native_latencies(g, model);
+        const int cp = critical_path_length(g, native);
+        const int horizon = cp + trial % 4;
+        const std::vector<int> start =
+            force_directed_schedule(g, native, horizon);
+        expect_precedence_ok(g, native, start);
+        EXPECT_LE(schedule_length(g, native, start), horizon);
+    }
+}
+
+TEST(ForceDirected, EmptyGraph)
+{
+    sequencing_graph g;
+    EXPECT_TRUE(force_directed_schedule(g, {}, 0).empty());
+}
+
+} // namespace
+} // namespace mwl

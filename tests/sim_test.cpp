@@ -1,0 +1,222 @@
+// Unit tests for src/sim: fixed-point wrap semantics, reference
+// evaluation, cycle-accurate datapath execution, and the allocation
+// transparency theorem (any valid allocation computes the same values).
+
+#include "baseline/two_stage.hpp"
+#include "core/dpalloc.hpp"
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "sim/simulator.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tgff/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwl {
+namespace {
+
+sequencing_graph fig1_graph()
+{
+    sequencing_graph g;
+    const op_id m1 = g.add_operation(op_shape::multiplier(12, 12), "m1");
+    const op_id m2 = g.add_operation(op_shape::multiplier(8, 4), "m2");
+    const op_id a = g.add_operation(op_shape::adder(12), "a");
+    g.add_dependency(m1, a);
+    g.add_dependency(m2, a);
+    return g;
+}
+
+/// Random external inputs for every unfilled operand port.
+sim_inputs random_inputs(const sequencing_graph& g, rng& random)
+{
+    sim_inputs in(g.size());
+    for (const op_id o : g.all_ops()) {
+        const std::size_t need = 2 - g.predecessors(o).size();
+        for (std::size_t k = 0; k < need; ++k) {
+            in[o.value()].push_back(random.uniform_int(0, 255) - 128);
+        }
+    }
+    return in;
+}
+
+// ----------------------------------------------------------- wrapping --
+
+TEST(Wrap, IdentityInsideRange)
+{
+    EXPECT_EQ(wrap_to_width(5, 8), 5);
+    EXPECT_EQ(wrap_to_width(-5, 8), -5);
+    EXPECT_EQ(wrap_to_width(127, 8), 127);
+    EXPECT_EQ(wrap_to_width(-128, 8), -128);
+}
+
+TEST(Wrap, TwoComplementWrapAround)
+{
+    EXPECT_EQ(wrap_to_width(128, 8), -128);
+    EXPECT_EQ(wrap_to_width(255, 8), -1);
+    EXPECT_EQ(wrap_to_width(256, 8), 0);
+    EXPECT_EQ(wrap_to_width(-129, 8), 127);
+}
+
+TEST(Wrap, OneBitValues)
+{
+    EXPECT_EQ(wrap_to_width(0, 1), 0);
+    EXPECT_EQ(wrap_to_width(1, 1), -1); // 1-bit two's complement
+}
+
+// ---------------------------------------------------------- reference --
+
+TEST(Reference, ChainComputesExpectedValue)
+{
+    // (3 * 5) + 7 with plenty of width.
+    sequencing_graph g;
+    const op_id m = g.add_operation(op_shape::multiplier(8, 8));
+    const op_id a = g.add_operation(op_shape::adder(16));
+    g.add_dependency(m, a);
+    sim_inputs in(g.size());
+    in[m.value()] = {3, 5};
+    in[a.value()] = {7};
+    const sim_result r = reference_evaluate(g, in);
+    EXPECT_EQ(r.value_of_op[m.value()], 15);
+    EXPECT_EQ(r.value_of_op[a.value()], 22);
+}
+
+TEST(Reference, AdderWrapsAtItsOwnWidth)
+{
+    sequencing_graph g;
+    const op_id a = g.add_operation(op_shape::adder(4)); // [-8, 7]
+    sim_inputs in(g.size());
+    in[a.value()] = {7, 1};
+    const sim_result r = reference_evaluate(g, in);
+    EXPECT_EQ(r.value_of_op[a.value()], -8); // 7 + 1 wraps
+}
+
+TEST(Reference, MultiplierKeepsFullProduct)
+{
+    sequencing_graph g;
+    const op_id m = g.add_operation(op_shape::multiplier(4, 4));
+    sim_inputs in(g.size());
+    in[m.value()] = {7, 7};
+    const sim_result r = reference_evaluate(g, in);
+    EXPECT_EQ(r.value_of_op[m.value()], 49); // fits in 8 bits
+}
+
+TEST(Reference, MissingExternalOperandThrows)
+{
+    sequencing_graph g;
+    g.add_operation(op_shape::adder(8));
+    const sim_inputs in(1); // no operands supplied
+    EXPECT_THROW(static_cast<void>(reference_evaluate(g, in)),
+                 precondition_error);
+}
+
+TEST(Reference, ExtraExternalOperandThrows)
+{
+    sequencing_graph g;
+    const op_id m = g.add_operation(op_shape::multiplier(4, 4));
+    const op_id a = g.add_operation(op_shape::adder(8));
+    g.add_dependency(m, a);
+    sim_inputs in(g.size());
+    in[m.value()] = {1, 2};
+    in[a.value()] = {3, 4}; // adder already has one predecessor
+    EXPECT_THROW(static_cast<void>(reference_evaluate(g, in)),
+                 precondition_error);
+}
+
+// ------------------------------------------------------------ datapath --
+
+TEST(Simulate, MatchesReferenceOnFig1)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    rng random(5);
+    const sim_inputs in = random_inputs(g, random);
+    const sim_result ref = reference_evaluate(g, in);
+    for (const int lambda : {5, 8}) {
+        const dpalloc_result r = dpalloc(g, model, lambda);
+        const sim_result sim = simulate_datapath(g, r.path, in);
+        EXPECT_EQ(sim.value_of_op, ref.value_of_op) << "lambda " << lambda;
+        EXPECT_EQ(sim.cycles, r.path.latency);
+    }
+}
+
+TEST(Simulate, AllocationTransparencyOnRandomGraphs)
+{
+    // The headline property: scheduling/binding/wordlength selection must
+    // never change computed values -- across algorithms and slacks.
+    const sonic_model model;
+    const auto corpus = make_corpus(10, 6, model, 77);
+    rng random(99);
+    for (const corpus_entry& e : corpus) {
+        const sim_inputs in = random_inputs(e.graph, random);
+        const sim_result ref = reference_evaluate(e.graph, in);
+        for (const double slack : {0.0, 0.3}) {
+            const int lambda = relaxed_lambda(e.lambda_min, slack);
+            const dpalloc_result heur = dpalloc(e.graph, model, lambda);
+            EXPECT_EQ(simulate_datapath(e.graph, heur.path, in).value_of_op,
+                      ref.value_of_op);
+            const two_stage_result two =
+                two_stage_allocate(e.graph, model, lambda);
+            EXPECT_EQ(simulate_datapath(e.graph, two.path, in).value_of_op,
+                      ref.value_of_op);
+        }
+    }
+}
+
+TEST(Simulate, DetectsDoubleBookedInstance)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    dpalloc_result r = dpalloc(g, model, 8);
+    // Force the two mults to overlap on the shared instance.
+    bool mutated = false;
+    for (const datapath_instance& inst : r.path.instances) {
+        if (inst.ops.size() >= 2) {
+            r.path.start[inst.ops[1].value()] =
+                r.path.start[inst.ops[0].value()];
+            mutated = true;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    rng random(1);
+    const sim_inputs in = random_inputs(g, random);
+    EXPECT_THROW(static_cast<void>(simulate_datapath(g, r.path, in)), error);
+}
+
+TEST(Simulate, DetectsOperandNotReady)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    dpalloc_result r = dpalloc(g, model, 8);
+    r.path.start[2] = 0; // adder before its producers
+    rng random(2);
+    const sim_inputs in = random_inputs(g, random);
+    EXPECT_THROW(static_cast<void>(simulate_datapath(g, r.path, in)), error);
+}
+
+TEST(Simulate, DetectsIncompatibleInstance)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    dpalloc_result r = dpalloc(g, model, 5);
+    for (datapath_instance& inst : r.path.instances) {
+        if (inst.shape.kind() == op_kind::mul) {
+            inst.shape = op_shape::multiplier(2, 2);
+        }
+    }
+    rng random(3);
+    const sim_inputs in = random_inputs(g, random);
+    EXPECT_THROW(static_cast<void>(simulate_datapath(g, r.path, in)), error);
+}
+
+TEST(Simulate, EmptyGraph)
+{
+    sequencing_graph g;
+    datapath path;
+    const sim_result r = simulate_datapath(g, path, {});
+    EXPECT_TRUE(r.value_of_op.empty());
+    EXPECT_EQ(r.cycles, 0);
+}
+
+} // namespace
+} // namespace mwl

@@ -1,0 +1,288 @@
+// Unit tests for src/support: strong ids, error primitives, the
+// deterministic RNG and the statistics helpers.
+
+#include "support/error.hpp"
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace mwl {
+namespace {
+
+// ---------------------------------------------------------------- ids --
+
+TEST(StrongId, DefaultConstructedIsInvalid)
+{
+    op_id id;
+    EXPECT_FALSE(id.is_valid());
+    EXPECT_EQ(id, op_id::invalid());
+}
+
+TEST(StrongId, ValueRoundTrips)
+{
+    op_id id(42);
+    EXPECT_TRUE(id.is_valid());
+    EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, OrderingFollowsValues)
+{
+    EXPECT_LT(op_id(1), op_id(2));
+    EXPECT_GT(op_id(5), op_id(3));
+    EXPECT_EQ(op_id(7), op_id(7));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes)
+{
+    static_assert(!std::is_same_v<op_id, res_id>);
+    static_assert(!std::is_same_v<res_id, clique_id>);
+}
+
+TEST(StrongId, HashWorksInUnorderedContainers)
+{
+    std::unordered_set<op_id> set;
+    set.insert(op_id(1));
+    set.insert(op_id(2));
+    set.insert(op_id(1));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongId, UsableAsOrderedKey)
+{
+    std::set<res_id> set{res_id(3), res_id(1), res_id(2)};
+    EXPECT_EQ(set.begin()->value(), 1u);
+}
+
+// -------------------------------------------------------------- error --
+
+TEST(Error, RequireThrowsPreconditionError)
+{
+    EXPECT_THROW(require(false, "boom"), precondition_error);
+    EXPECT_NO_THROW(require(true, "fine"));
+}
+
+TEST(Error, RequireFeasibleThrowsInfeasibleError)
+{
+    EXPECT_THROW(require_feasible(false, "no way"), infeasible_error);
+    EXPECT_NO_THROW(require_feasible(true, "ok"));
+}
+
+TEST(Error, ExceptionsDeriveFromMwlError)
+{
+    try {
+        require(false, "message text");
+        FAIL() << "should have thrown";
+    } catch (const error& e) {
+        EXPECT_STREQ(e.what(), "message text");
+    }
+}
+
+TEST(Error, InfeasibleIsDistinctFromPrecondition)
+{
+    EXPECT_THROW(
+        {
+            try {
+                require_feasible(false, "x");
+            } catch (const precondition_error&) {
+                FAIL() << "wrong type";
+            }
+        },
+        infeasible_error);
+}
+
+// ---------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    rng a(123);
+    rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    rng a(1);
+    rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        same += (a() == b()) ? 1 : 0;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.uniform(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, UniformCoversFullRange)
+{
+    rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        seen.insert(r.uniform(0, 3));
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformDegenerateRangeIsConstant)
+{
+    rng r(5);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(r.uniform(9, 9), 9u);
+    }
+}
+
+TEST(Rng, UniformIntMatchesRange)
+{
+    rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        const int v = r.uniform_int(1, 6);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 6);
+    }
+}
+
+TEST(Rng, UniformRealInHalfOpenUnitInterval)
+{
+    rng r(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform_real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRealMeanIsPlausible)
+{
+    rng r(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        sum += r.uniform_real();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremesAreDeterministic)
+{
+    rng r(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    rng parent(21);
+    rng child = parent.fork(1);
+    rng parent2(21);
+    rng child2 = parent2.fork(1);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(child(), child2());
+    }
+}
+
+TEST(Rng, ForkSaltMatters)
+{
+    rng parent(21);
+    rng a = parent.fork(1);
+    rng parent2(21);
+    rng b = parent2.fork(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        same += (a() == b()) ? 1 : 0;
+    }
+    EXPECT_LT(same, 3);
+}
+
+// -------------------------------------------------------------- stats --
+
+TEST(Stats, MeanOfKnownSample)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, StddevOfKnownSample)
+{
+    const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+}
+
+TEST(Stats, StddevOfSingletonIsZero)
+{
+    const std::vector<double> v{42.0};
+    EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Stats, GeomeanOfKnownSample)
+{
+    const std::vector<double> v{1.0, 100.0};
+    EXPECT_NEAR(geomean(v), 10.0, 1e-9);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, MinMaxOfSample)
+{
+    const std::vector<double> v{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(min_of(v), 1.0);
+    EXPECT_DOUBLE_EQ(max_of(v), 3.0);
+}
+
+// -------------------------------------------------------------- timer --
+
+TEST(Timer, MeasuresNonNegativeTime)
+{
+    stopwatch w;
+    EXPECT_GE(w.seconds(), 0.0);
+    EXPECT_GE(w.milliseconds(), 0.0);
+}
+
+TEST(Timer, ResetRestartsTheClock)
+{
+    stopwatch w;
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        sink = sink + 1.0;
+    }
+    w.reset();
+    EXPECT_LT(w.seconds(), 1.0);
+}
+
+} // namespace
+} // namespace mwl

@@ -1,0 +1,202 @@
+// Unit tests for src/tgff: generator invariants (size, acyclicity,
+// determinism, wordlength ranges) and the experiment corpus helpers.
+
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "support/error.hpp"
+#include "tgff/corpus.hpp"
+#include "tgff/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwl {
+namespace {
+
+TEST(Tgff, ProducesRequestedSize)
+{
+    rng random(1);
+    for (const std::size_t n : {1u, 5u, 24u}) {
+        tgff_options opts;
+        opts.n_ops = n;
+        EXPECT_EQ(generate_tgff(opts, random).size(), n);
+    }
+}
+
+TEST(Tgff, DeterministicForSeed)
+{
+    tgff_options opts;
+    opts.n_ops = 15;
+    rng r1(77);
+    rng r2(77);
+    const sequencing_graph a = generate_tgff(opts, r1);
+    const sequencing_graph b = generate_tgff(opts, r2);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.edge_count(), b.edge_count());
+    for (const op_id o : a.all_ops()) {
+        EXPECT_EQ(a.shape(o), b.shape(o));
+        const auto sa = a.successors(o);
+        const auto sb = b.successors(o);
+        ASSERT_EQ(sa.size(), sb.size());
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+            EXPECT_EQ(sa[i], sb[i]);
+        }
+    }
+}
+
+TEST(Tgff, DifferentSeedsDiffer)
+{
+    tgff_options opts;
+    opts.n_ops = 15;
+    rng r1(1);
+    rng r2(2);
+    const sequencing_graph a = generate_tgff(opts, r1);
+    const sequencing_graph b = generate_tgff(opts, r2);
+    bool any_diff = a.edge_count() != b.edge_count();
+    for (const op_id o : a.all_ops()) {
+        any_diff = any_diff || a.shape(o) != b.shape(o);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Tgff, WidthsInsideConfiguredRange)
+{
+    tgff_options opts;
+    opts.n_ops = 50;
+    opts.min_width = 6;
+    opts.max_width = 10;
+    rng random(3);
+    const sequencing_graph g = generate_tgff(opts, random);
+    for (const op_id o : g.all_ops()) {
+        const op_shape& s = g.shape(o);
+        EXPECT_GE(s.width_a(), 6);
+        EXPECT_LE(s.width_a(), 10);
+        if (s.kind() == op_kind::mul) {
+            EXPECT_GE(s.width_b(), 6);
+            EXPECT_LE(s.width_b(), 10);
+        }
+    }
+}
+
+TEST(Tgff, MulFractionExtremes)
+{
+    tgff_options opts;
+    opts.n_ops = 30;
+    opts.mul_fraction = 0.0;
+    rng r1(4);
+    const sequencing_graph all_add = generate_tgff(opts, r1);
+    for (const op_id o : all_add.all_ops()) {
+        EXPECT_EQ(all_add.shape(o).kind(), op_kind::add);
+    }
+    opts.mul_fraction = 1.0;
+    rng r2(4);
+    const sequencing_graph all_mul = generate_tgff(opts, r2);
+    for (const op_id o : all_mul.all_ops()) {
+        EXPECT_EQ(all_mul.shape(o).kind(), op_kind::mul);
+    }
+}
+
+TEST(Tgff, FanInBounded)
+{
+    tgff_options opts;
+    opts.n_ops = 40;
+    opts.max_fan_in = 2;
+    rng random(5);
+    const sequencing_graph g = generate_tgff(opts, random);
+    for (const op_id o : g.all_ops()) {
+        EXPECT_LE(g.predecessors(o).size(), 2u);
+    }
+}
+
+TEST(Tgff, GraphIsConnectedEnoughToBeInteresting)
+{
+    // With attach probability 1 every non-root op has a predecessor.
+    tgff_options opts;
+    opts.n_ops = 20;
+    opts.attach_probability = 1.0;
+    rng random(6);
+    const sequencing_graph g = generate_tgff(opts, random);
+    std::size_t roots = 0;
+    for (const op_id o : g.all_ops()) {
+        roots += g.predecessors(o).empty() ? 1u : 0u;
+    }
+    EXPECT_EQ(roots, 1u);
+}
+
+TEST(Tgff, InvalidOptionsThrow)
+{
+    rng random(7);
+    tgff_options opts;
+    opts.n_ops = 0;
+    EXPECT_THROW(static_cast<void>(generate_tgff(opts, random)),
+                 precondition_error);
+    opts.n_ops = 3;
+    opts.min_width = 8;
+    opts.max_width = 4;
+    EXPECT_THROW(static_cast<void>(generate_tgff(opts, random)),
+                 precondition_error);
+    opts = {};
+    opts.mul_fraction = 1.5;
+    EXPECT_THROW(static_cast<void>(generate_tgff(opts, random)),
+                 precondition_error);
+    opts = {};
+    opts.max_fan_in = 0;
+    EXPECT_THROW(static_cast<void>(generate_tgff(opts, random)),
+                 precondition_error);
+}
+
+// -------------------------------------------------------------- corpus --
+
+TEST(Corpus, SizesAndLambdaMin)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(6, 10, model, 42);
+    ASSERT_EQ(corpus.size(), 10u);
+    for (const corpus_entry& e : corpus) {
+        EXPECT_EQ(e.graph.size(), 6u);
+        EXPECT_EQ(e.lambda_min, min_latency(e.graph, model));
+        EXPECT_GE(e.lambda_min, 1);
+    }
+}
+
+TEST(Corpus, DeterministicAndPrefixStable)
+{
+    const sonic_model model;
+    const auto a = make_corpus(5, 4, model, 7);
+    const auto b = make_corpus(5, 8, model, 7);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].lambda_min, b[i].lambda_min);
+        EXPECT_EQ(a[i].graph.size(), b[i].graph.size());
+        EXPECT_EQ(a[i].graph.edge_count(), b[i].graph.edge_count());
+    }
+}
+
+TEST(Corpus, SeedsSeparateCorpora)
+{
+    const sonic_model model;
+    const auto a = make_corpus(8, 5, model, 1);
+    const auto b = make_corpus(8, 5, model, 2);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        any_diff = any_diff ||
+                   a[i].graph.edge_count() != b[i].graph.edge_count() ||
+                   a[i].lambda_min != b[i].lambda_min;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Corpus, RelaxedLambdaRounding)
+{
+    EXPECT_EQ(relaxed_lambda(10, 0.0), 10);
+    EXPECT_EQ(relaxed_lambda(10, 0.05), 11); // ceil(10.5)
+    EXPECT_EQ(relaxed_lambda(10, 0.30), 13);
+    EXPECT_EQ(relaxed_lambda(7, 0.10), 8);   // ceil(7.7)
+}
+
+TEST(Corpus, NegativeSlackThrows)
+{
+    EXPECT_THROW(static_cast<void>(relaxed_lambda(10, -0.1)),
+                 precondition_error);
+}
+
+} // namespace
+} // namespace mwl

@@ -1,0 +1,238 @@
+// Unit tests for src/wordlength: truncation noise model, output-gain
+// propagation on linear graphs, and error-budgeted fractional width
+// assignment (water-filling + greedy trim).
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tgff/generator.hpp"
+#include "wordlength/noise_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mwl {
+namespace {
+
+TEST(NoisePower, MatchesClosedForm)
+{
+    // sigma^2 = 2^{-2f} / 12.
+    EXPECT_DOUBLE_EQ(truncation_noise_power(0), 1.0 / 12.0);
+    EXPECT_DOUBLE_EQ(truncation_noise_power(1), 0.25 / 12.0);
+    EXPECT_NEAR(truncation_noise_power(8), std::pow(2.0, -16) / 12.0,
+                1e-18);
+}
+
+TEST(NoisePower, EachBitQuartersTheNoise)
+{
+    for (int f = 0; f < 20; ++f) {
+        EXPECT_NEAR(truncation_noise_power(f) / truncation_noise_power(f + 1),
+                    4.0, 1e-9);
+    }
+}
+
+TEST(OutputGains, OutputOpHasUnitGain)
+{
+    sequencing_graph g;
+    g.add_operation(op_shape::adder(8));
+    const std::vector<double> coeff{1.0};
+    const auto gains = output_gains(g, coeff);
+    EXPECT_DOUBLE_EQ(gains[0], 1.0);
+}
+
+TEST(OutputGains, AdderChainKeepsUnitGain)
+{
+    sequencing_graph g;
+    op_id prev = g.add_operation(op_shape::adder(8));
+    for (int i = 0; i < 3; ++i) {
+        const op_id next = g.add_operation(op_shape::adder(8));
+        g.add_dependency(prev, next);
+        prev = next;
+    }
+    const std::vector<double> coeff(4, 1.0);
+    const auto gains = output_gains(g, coeff);
+    for (const double gain : gains) {
+        EXPECT_DOUBLE_EQ(gain, 1.0);
+    }
+}
+
+TEST(OutputGains, MultiplierScalesUpstreamNoise)
+{
+    // src(add) -> mul(coeff 0.5) : src's noise reaches the output through
+    // the multiplier, scaled by coeff^2 = 0.25.
+    sequencing_graph g;
+    const op_id src = g.add_operation(op_shape::adder(8));
+    const op_id m = g.add_operation(op_shape::multiplier(8, 8));
+    g.add_dependency(src, m);
+    const std::vector<double> coeff{1.0, 0.5};
+    const auto gains = output_gains(g, coeff);
+    EXPECT_DOUBLE_EQ(gains[m.value()], 1.0);
+    EXPECT_DOUBLE_EQ(gains[src.value()], 0.25);
+}
+
+TEST(OutputGains, FanOutAccumulates)
+{
+    // src feeds two parallel output adders: gain 1 + 1 = 2.
+    sequencing_graph g;
+    const op_id src = g.add_operation(op_shape::adder(8));
+    const op_id a = g.add_operation(op_shape::adder(8));
+    const op_id b = g.add_operation(op_shape::adder(8));
+    g.add_dependency(src, a);
+    g.add_dependency(src, b);
+    const std::vector<double> coeff(3, 1.0);
+    const auto gains = output_gains(g, coeff);
+    EXPECT_DOUBLE_EQ(gains[src.value()], 2.0);
+}
+
+TEST(OutputGains, SizeMismatchThrows)
+{
+    sequencing_graph g;
+    g.add_operation(op_shape::adder(8));
+    const std::vector<double> coeff;
+    EXPECT_THROW(static_cast<void>(output_gains(g, coeff)),
+                 precondition_error);
+}
+
+// ----------------------------------------------------------- assignment --
+
+sequencing_graph small_linear_graph()
+{
+    sequencing_graph g;
+    const op_id m1 = g.add_operation(op_shape::multiplier(12, 10));
+    const op_id m2 = g.add_operation(op_shape::multiplier(12, 6));
+    const op_id a1 = g.add_operation(op_shape::adder(14));
+    g.add_dependency(m1, a1);
+    g.add_dependency(m2, a1);
+    return g;
+}
+
+TEST(AssignWidths, BudgetIsAlwaysRespected)
+{
+    const sequencing_graph g = small_linear_graph();
+    const std::vector<double> coeff{0.8, 0.1, 1.0};
+    const auto gains = output_gains(g, coeff);
+    for (const double budget : {1e-3, 1e-5, 1e-8}) {
+        noise_spec spec;
+        spec.budget = budget;
+        const auto wl = assign_fractional_widths(g, gains, spec);
+        EXPECT_LE(wl.noise_power, budget);
+        for (const int f : wl.frac_bits) {
+            EXPECT_GE(f, spec.min_frac_bits);
+            EXPECT_LE(f, spec.max_frac_bits);
+        }
+    }
+}
+
+TEST(AssignWidths, TighterBudgetNeverNarrowsAnyOperation)
+{
+    const sequencing_graph g = small_linear_graph();
+    const std::vector<double> coeff{0.8, 0.1, 1.0};
+    const auto gains = output_gains(g, coeff);
+    noise_spec loose;
+    loose.budget = 1e-4;
+    noise_spec tight;
+    tight.budget = 1e-7;
+    const auto wide = assign_fractional_widths(g, gains, tight);
+    const auto narrow = assign_fractional_widths(g, gains, loose);
+    double wide_total = 0.0;
+    double narrow_total = 0.0;
+    for (std::size_t o = 0; o < g.size(); ++o) {
+        wide_total += wide.frac_bits[o];
+        narrow_total += narrow.frac_bits[o];
+    }
+    EXPECT_GE(wide_total, narrow_total);
+}
+
+TEST(AssignWidths, HighGainOpsGetMoreBits)
+{
+    // The op whose noise is amplified most must carry at least as many
+    // fractional bits as a low-gain peer.
+    const sequencing_graph g = small_linear_graph();
+    const std::vector<double> coeff{1.0, 0.01, 1.0};
+    const auto gains = output_gains(g, coeff);
+    noise_spec spec;
+    spec.budget = 1e-6;
+    const auto wl = assign_fractional_widths(g, gains, spec);
+    EXPECT_GE(wl.frac_bits[0], wl.frac_bits[1]);
+}
+
+TEST(AssignWidths, UnreachableBudgetThrows)
+{
+    const sequencing_graph g = small_linear_graph();
+    const std::vector<double> coeff{1.0, 1.0, 1.0};
+    const auto gains = output_gains(g, coeff);
+    noise_spec spec;
+    spec.budget = 1e-30;
+    spec.max_frac_bits = 8;
+    EXPECT_THROW(static_cast<void>(assign_fractional_widths(g, gains, spec)),
+                 infeasible_error);
+}
+
+TEST(AssignWidths, InvalidSpecThrows)
+{
+    const sequencing_graph g = small_linear_graph();
+    const std::vector<double> coeff{1.0, 1.0, 1.0};
+    const auto gains = output_gains(g, coeff);
+    noise_spec spec;
+    spec.budget = 0.0;
+    EXPECT_THROW(static_cast<void>(assign_fractional_widths(g, gains, spec)),
+                 precondition_error);
+    spec.budget = 1e-6;
+    spec.min_frac_bits = 10;
+    spec.max_frac_bits = 4;
+    EXPECT_THROW(static_cast<void>(assign_fractional_widths(g, gains, spec)),
+                 precondition_error);
+}
+
+TEST(AssignWidths, GreedyTrimReachesLocalMinimum)
+{
+    // After assignment, no single operation can shed a bit and stay
+    // within budget (otherwise the trim loop would have done it).
+    const sequencing_graph g = small_linear_graph();
+    const std::vector<double> coeff{0.8, 0.1, 1.0};
+    const auto gains = output_gains(g, coeff);
+    noise_spec spec;
+    spec.budget = 1e-5;
+    const auto wl = assign_fractional_widths(g, gains, spec);
+    for (std::size_t o = 0; o < g.size(); ++o) {
+        if (wl.frac_bits[o] <= spec.min_frac_bits) {
+            continue;
+        }
+        const double extra =
+            gains[o] * (truncation_noise_power(wl.frac_bits[o] - 1) -
+                        truncation_noise_power(wl.frac_bits[o]));
+        EXPECT_GT(wl.noise_power + extra, spec.budget);
+    }
+}
+
+TEST(AssignWidths, ZeroGainOpsGetMinimumWidth)
+{
+    const sequencing_graph g = small_linear_graph();
+    std::vector<double> gains{0.0, 1.0, 1.0};
+    noise_spec spec;
+    spec.budget = 1e-5;
+    const auto wl = assign_fractional_widths(g, gains, spec);
+    EXPECT_EQ(wl.frac_bits[0], spec.min_frac_bits);
+}
+
+TEST(AssignWidths, RandomGraphsStayWithinBudget)
+{
+    rng random(123);
+    for (int trial = 0; trial < 15; ++trial) {
+        tgff_options opts;
+        opts.n_ops = 10;
+        const sequencing_graph g = generate_tgff(opts, random);
+        std::vector<double> coeff(g.size(), 1.0);
+        for (auto& c : coeff) {
+            c = 0.05 + random.uniform_real();
+        }
+        const auto gains = output_gains(g, coeff);
+        noise_spec spec;
+        spec.budget = 1e-6;
+        const auto wl = assign_fractional_widths(g, gains, spec);
+        EXPECT_LE(wl.noise_power, spec.budget);
+    }
+}
+
+} // namespace
+} // namespace mwl

@@ -1,0 +1,184 @@
+// mwl_alloc -- command-line datapath allocator.
+//
+// Reads a sequencing graph in the .mwl text format (src/io/graph_io.hpp),
+// allocates a datapath with the chosen algorithm, and reports the result;
+// optionally emits Graphviz DOT for the graph and structural Verilog for
+// the allocated design.
+//
+// Usage:
+//   mwl_alloc GRAPH.mwl [--lambda N | --slack PCT] [--algorithm NAME]
+//             [--verilog FILE] [--dot] [--rtl] [--csv]
+//
+//   --algorithm dpalloc (default) | two-stage | descending | ilp
+//   --slack PCT  : lambda = ceil(lambda_min * (1 + PCT/100)); default 0
+//   --rtl        : also report register/mux inventory and extended area
+//   echo 'op a mul 8 8' | mwl_alloc -   reads from stdin
+
+#include "baseline/descending.hpp"
+#include "baseline/two_stage.hpp"
+#include "core/dpalloc.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "dfg/dot.hpp"
+#include "ilp/formulation.hpp"
+#include "io/graph_io.hpp"
+#include "model/hardware_model.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/verilog.hpp"
+#include "tgff/corpus.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+namespace {
+
+[[noreturn]] void usage(int code)
+{
+    std::cout <<
+        "usage: mwl_alloc GRAPH.mwl [options]\n"
+        "  --lambda N          latency constraint in control steps\n"
+        "  --slack PCT         lambda = ceil(lambda_min*(1+PCT/100)) "
+        "[default 0]\n"
+        "  --algorithm NAME    dpalloc | two-stage | descending | ilp "
+        "[dpalloc]\n"
+        "  --verilog FILE      write structural Verilog\n"
+        "  --dot               print the graph in DOT form\n"
+        "  --rtl               report registers/muxes and extended area\n"
+        "  GRAPH.mwl of '-' reads the graph from stdin\n";
+    std::exit(code);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace mwl;
+
+    std::string graph_file;
+    std::optional<int> lambda_arg;
+    double slack = 0.0;
+    std::string algorithm = "dpalloc";
+    std::string verilog_file;
+    bool want_dot = false;
+    bool want_rtl = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "mwl_alloc: missing value for " << arg << '\n';
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--lambda") {
+            lambda_arg = std::stoi(value());
+        } else if (arg == "--slack") {
+            slack = std::stod(value()) / 100.0;
+        } else if (arg == "--algorithm") {
+            algorithm = value();
+        } else if (arg == "--verilog") {
+            verilog_file = value();
+        } else if (arg == "--dot") {
+            want_dot = true;
+        } else if (arg == "--rtl") {
+            want_rtl = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::cerr << "mwl_alloc: unknown option " << arg << '\n';
+            usage(2);
+        } else {
+            graph_file = arg;
+        }
+    }
+    if (graph_file.empty()) {
+        usage(2);
+    }
+
+    try {
+        sequencing_graph graph;
+        if (graph_file == "-") {
+            graph = parse_graph(std::cin);
+        } else {
+            std::ifstream in(graph_file);
+            if (!in) {
+                std::cerr << "mwl_alloc: cannot open " << graph_file << '\n';
+                return 1;
+            }
+            graph = parse_graph(in);
+        }
+
+        const sonic_model model;
+        const int lambda_min = min_latency(graph, model);
+        const int lambda =
+            lambda_arg ? *lambda_arg : relaxed_lambda(lambda_min, slack);
+        std::cout << "graph: " << graph.size() << " operations, "
+                  << graph.edge_count() << " dependencies, lambda_min "
+                  << lambda_min << ", lambda " << lambda << '\n';
+        if (want_dot) {
+            std::cout << '\n' << to_dot(graph) << '\n';
+        }
+
+        datapath path;
+        if (algorithm == "dpalloc") {
+            const dpalloc_result r = dpalloc(graph, model, lambda);
+            std::cout << "dpalloc: " << r.stats.iterations << " iterations, "
+                      << r.stats.refinements << " refinements\n";
+            path = r.path;
+        } else if (algorithm == "two-stage") {
+            const two_stage_result r =
+                two_stage_allocate(graph, model, lambda);
+            std::cout << "two-stage: optimal binding "
+                      << (r.proven_optimal_binding ? "proven" : "capped")
+                      << ", " << r.nodes << " B&B nodes\n";
+            path = r.path;
+        } else if (algorithm == "descending") {
+            path = descending_allocate(graph, model, lambda);
+        } else if (algorithm == "ilp") {
+            const ilp_result r = solve_ilp(graph, model, lambda);
+            std::cout << "ilp: " << r.n_variables << " vars, "
+                      << r.n_constraints << " rows, " << r.nodes
+                      << " B&B nodes, status "
+                      << (r.status == mip_status::optimal ? "optimal"
+                                                          : "limit")
+                      << '\n';
+            path = r.path;
+        } else {
+            std::cerr << "mwl_alloc: unknown algorithm '" << algorithm
+                      << "'\n";
+            return 2;
+        }
+
+        require_valid(graph, model, path, lambda);
+        std::cout << '\n' << describe(path, graph);
+
+        if (want_rtl || !verilog_file.empty()) {
+            const rtl_netlist net = build_rtl(graph, model, path);
+            if (want_rtl) {
+                std::cout << "\nrtl: " << net.registers.size()
+                          << " registers, " << net.muxes.size()
+                          << " muxes\n";
+                std::cout << "extended area: fu " << net.fu_area << " + reg "
+                          << net.register_area << " + mux " << net.mux_area
+                          << " = " << net.total_area() << '\n';
+            }
+            if (!verilog_file.empty()) {
+                std::ofstream out(verilog_file);
+                if (!out) {
+                    std::cerr << "mwl_alloc: cannot write " << verilog_file
+                              << '\n';
+                    return 1;
+                }
+                out << to_verilog(graph, path, net, "mwl_datapath");
+                std::cout << "verilog written to " << verilog_file << '\n';
+            }
+        }
+        return 0;
+    } catch (const error& e) {
+        std::cerr << "mwl_alloc: " << e.what() << '\n';
+        return 1;
+    }
+}
