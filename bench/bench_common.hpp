@@ -22,6 +22,7 @@ struct bench_options {
     bool csv = false;             ///< CSV instead of aligned table
     double ilp_time_limit = 5.0;  ///< per-instance ILP wall limit (seconds)
     std::size_t max_size = 0;     ///< 0 = bench default
+    std::string out;              ///< optional artifact path (bench-specific)
 };
 
 inline bench_options parse_options(int argc, char** argv,
@@ -48,10 +49,13 @@ inline bench_options parse_options(int argc, char** argv,
             opt.ilp_time_limit = std::stod(next_value());
         } else if (arg == "--max-size") {
             opt.max_size = std::stoul(next_value());
+        } else if (arg == "--out") {
+            opt.out = next_value();
         } else if (arg == "--help" || arg == "-h") {
             std::cout << bench_name
                       << " [--graphs N] [--seed S] [--csv]"
-                         " [--ilp-time-limit SEC] [--max-size N]\n"
+                         " [--ilp-time-limit SEC] [--max-size N]"
+                         " [--out FILE]\n"
                          "Defaults are scaled for quick runs; use"
                          " --graphs 200 for the paper's corpus size.\n";
             std::exit(0);

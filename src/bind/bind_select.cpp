@@ -16,10 +16,99 @@ timed_op make_timed(op_id o, std::span<const int> start,
 
 /// True iff `extra`'s members can be absorbed into `base` while keeping
 /// `resource` feasible for everyone (Eqn. 4) and the union a chain.
+///
+/// Both inputs are sorted by start (chains have strictly ascending starts),
+/// so the union is checked by a two-pointer merge walk testing `precedes`
+/// between consecutive items -- no merged vector is materialized and no
+/// allocation happens per probe.
 bool can_absorb(const wordlength_compatibility_graph& wcg, res_id resource,
                 const std::vector<timed_op>& base,
                 const std::vector<op_id>& extra, std::span<const int> start,
                 std::span<const int> lat)
+{
+    for (const op_id o : extra) {
+        if (!wcg.compatible(o, resource)) {
+            return false;
+        }
+    }
+    std::size_t i = 0;
+    std::size_t j = 0;
+    timed_op prev{};
+    bool have_prev = false;
+    while (i < base.size() || j < extra.size()) {
+        timed_op next;
+        if (j == extra.size() ||
+            (i < base.size() &&
+             base[i].start <= start[extra[j].value()])) {
+            next = base[i++];
+        } else {
+            next = make_timed(extra[j++], start, lat);
+        }
+        if (have_prev && !precedes(prev, next)) {
+            return false;
+        }
+        prev = next;
+        have_prev = true;
+    }
+    return true;
+}
+
+// -- reference (pre-incremental) implementations ------------------------
+//
+// The cache_chains = false arm reproduces the original BindSelect
+// faithfully -- quadratic longest-chain DP with fresh allocations, the
+// base-copying absorption probe, and the scan-everything cheapest-resource
+// query -- so bench/iteration_scaling.cpp measures the real before/after
+// of the §2.3 rework. Output-equivalence with the production path is
+// enforced by tests/chains_property_test.cpp and
+// tests/incremental_regression_test.cpp.
+
+std::vector<timed_op> longest_chain_dp(std::span<const timed_op> items)
+{
+    if (items.empty()) {
+        return {};
+    }
+    std::vector<timed_op> sorted(items.begin(), items.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const timed_op& a, const timed_op& b) {
+                  if (a.start != b.start) {
+                      return a.start < b.start;
+                  }
+                  if (a.finish() != b.finish()) {
+                      return a.finish() < b.finish();
+                  }
+                  return a.op < b.op;
+              });
+    const std::size_t n = sorted.size();
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> dp(n, 1);
+    std::vector<std::size_t> back(n, npos);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (precedes(sorted[j], sorted[i]) && dp[j] + 1 > dp[i]) {
+                dp[i] = dp[j] + 1;
+                back[i] = j;
+            }
+        }
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        if (dp[i] > dp[best]) {
+            best = i;
+        }
+    }
+    std::vector<timed_op> chain;
+    for (std::size_t at = best; at != npos; at = back[at]) {
+        chain.push_back(sorted[at]);
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+bool can_absorb_copying(const wordlength_compatibility_graph& wcg,
+                        res_id resource, const std::vector<timed_op>& base,
+                        const std::vector<op_id>& extra,
+                        std::span<const int> start, std::span<const int> lat)
 {
     std::vector<timed_op> merged = base;
     for (const op_id o : extra) {
@@ -28,15 +117,50 @@ bool can_absorb(const wordlength_compatibility_graph& wcg, res_id resource,
         }
         merged.push_back(make_timed(o, start, lat));
     }
-    return is_chain(merged);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        for (std::size_t j = i + 1; j < merged.size(); ++j) {
+            if (!precedes(merged[i], merged[j]) &&
+                !precedes(merged[j], merged[i])) {
+                return false;
+            }
+        }
+    }
+    return true;
 }
+
+res_id cheapest_common_resource_scan(
+    const wordlength_compatibility_graph& wcg, std::span<const op_id> ops)
+{
+    res_id best = res_id::invalid();
+    for (const res_id r : wcg.all_resources()) {
+        bool covers_all = true;
+        for (const op_id o : ops) {
+            if (!wcg.compatible(o, r)) {
+                covers_all = false;
+                break;
+            }
+        }
+        if (!covers_all) {
+            continue;
+        }
+        if (!best.is_valid() || wcg.area(r) < wcg.area(best)) {
+            best = r;
+        }
+    }
+    return best;
+}
+
+// bind_chain_key (bind_select.hpp) orders the lazy Chvátal heap: maximise
+// ratio, then chain length, then prefer the smaller res_id -- the exact
+// tie-break order of the reference scan. res_ids are distinct, so keys are
+// totally ordered and the argmax unique.
 
 } // namespace
 
 binding bind_select(const wordlength_compatibility_graph& wcg,
                     std::span<const int> start_times,
                     std::span<const int> latencies,
-                    const bind_options& options)
+                    const bind_options& options, bind_scratch* scratch_arg)
 {
     const sequencing_graph& graph = wcg.graph();
     const std::size_t n = graph.size();
@@ -51,65 +175,219 @@ binding bind_select(const wordlength_compatibility_graph& wcg,
     std::vector<bool> covered(n, false);
     std::size_t n_covered = 0;
 
+    bind_scratch local;
+    bind_scratch& sc = scratch_arg ? *scratch_arg : local;
+    const std::size_t n_res = wcg.resource_count();
+    // Memo entries: valid flags reset per call; chain buffers keep their
+    // capacity across calls through the scratch.
+    sc.entry_valid.assign(n_res, 0);
+    sc.entry_chain.resize(n_res);
+    // chain_users[o]: resources whose cached chain contains operation o.
+    // Covering o invalidates exactly these entries: removing candidates
+    // *outside* a chain cannot change the canonical DP answer (dp values
+    // of other items only decrease, so neither the first-index argmax nor
+    // any first-maximal back pointer along the chain can move), so every
+    // other cached chain stays exact. Entries may be stale (the resource
+    // recomputed since); extra invalidations are harmless.
+    sc.chain_users.resize(std::max(sc.chain_users.size(), n));
+    for (std::size_t o = 0; o < n; ++o) {
+        sc.chain_users[o].clear();
+    }
+
+    const auto recompute = [&](res_id r) -> const std::vector<timed_op>& {
+        std::vector<timed_op>& chain = sc.entry_chain[r.value()];
+        std::vector<timed_op>& candidates = sc.candidates;
+        candidates.clear();
+        for (const op_id o : wcg.ops_for(r)) {
+            if (!covered[o.value()]) {
+                candidates.push_back(make_timed(o, start_times, latencies));
+            }
+        }
+        if (options.cache_chains) {
+            longest_chain_into(candidates, sc.chains, chain);
+            for (const timed_op& item : chain) {
+                sc.chain_users[item.op.value()].push_back(r);
+            }
+        } else {
+            chain = longest_chain_dp(candidates);
+        }
+        sc.entry_valid[r.value()] = 1;
+        return chain;
+    };
+    const auto key_of = [&](res_id r, const std::vector<timed_op>& chain) {
+        return bind_chain_key{
+            static_cast<double>(chain.size()) / wcg.area(r), chain.size(),
+            r};
+    };
+    auto& heap = sc.heap;
+    heap.clear();
+    const auto heap_push = [&](const bind_chain_key& key) {
+        heap.push_back(key);
+        std::push_heap(heap.begin(), heap.end());
+    };
+    const auto heap_pop = [&]() {
+        const bind_chain_key top = heap.front();
+        std::pop_heap(heap.begin(), heap.end());
+        heap.pop_back();
+        return top;
+    };
+
+    // Lazy Chvátal selection (Minoux-style): candidate sets only shrink as
+    // operations are covered, so every chain length -- and thus every
+    // selection key -- is non-increasing over rounds. Stale heap keys are
+    // therefore upper bounds, and the first *fresh* key popped is the true
+    // argmax. Only resources that surface at the heap top are recomputed,
+    // instead of every dirtied resource every round. The heap is seeded
+    // with the optimistic bound "number of distinct start times among
+    // O(r)" -- a chain visits strictly increasing starts, so this is
+    // admissible and much tighter than |O(r)| under a parallel schedule --
+    // and no chain at all is computed for resources that never reach the
+    // top.
+    if (options.cache_chains) {
+        // stamp[t] == current resource marker <=> start t already seen.
+        int horizon = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            horizon = std::max(horizon, start_times[i] + 1);
+        }
+        auto& stamp = sc.stamp;
+        stamp.assign(static_cast<std::size_t>(horizon), 0);
+        std::uint32_t marker = 0;
+        for (const res_id r : wcg.all_resources()) {
+            ++marker;
+            std::size_t distinct_starts = 0;
+            for (const op_id o : wcg.ops_for(r)) {
+                auto& cell =
+                    stamp[static_cast<std::size_t>(start_times[o.value()])];
+                if (cell != marker) {
+                    cell = marker;
+                    ++distinct_starts;
+                }
+            }
+            if (distinct_starts > 0) {
+                heap_push(bind_chain_key{
+                    static_cast<double>(distinct_starts) / wcg.area(r),
+                    distinct_starts, r});
+            }
+        }
+    }
+
     while (n_covered < n) {
         // Chvátal ratio selection over the implicit column set: for each
         // resource type the best feasible column is a longest chain of
         // uncovered compatible operations.
         res_id best_r = res_id::invalid();
-        std::vector<timed_op> best_chain;
-        double best_ratio = -1.0;
-        for (const res_id r : wcg.all_resources()) {
-            std::vector<timed_op> candidates;
-            for (const op_id o : wcg.ops_for(r)) {
-                if (!covered[o.value()]) {
-                    candidates.push_back(
-                        make_timed(o, start_times, latencies));
+        const std::vector<timed_op>* best_chain_ptr = nullptr;
+
+        if (options.cache_chains) {
+            while (best_chain_ptr == nullptr) {
+                // Every uncovered operation keeps at least one H edge, so
+                // a key for some resource with candidates is always here.
+                MWL_ASSERT(!heap.empty());
+                const bind_chain_key top = heap_pop();
+                if (!sc.entry_valid[top.r.value()]) {
+                    const std::vector<timed_op>& fresh = recompute(top.r);
+                    if (!fresh.empty()) {
+                        heap_push(key_of(top.r, fresh));
+                    }
+                    continue;
+                }
+                const std::vector<timed_op>& chain =
+                    sc.entry_chain[top.r.value()];
+                if (chain.size() != top.length) {
+                    continue; // superseded duplicate of an older recompute
+                }
+                best_r = top.r;
+                best_chain_ptr = &chain;
+                // The resource stays selectable in later rounds; its ops
+                // are about to be covered, which dirties the entry, so the
+                // re-pushed key is a valid upper bound.
+                heap_push(top);
+            }
+        } else {
+            // Reference scan: recompute every resource's chain each round
+            // (the original pre-incremental behaviour; identical output).
+            double best_ratio = -1.0;
+            for (const res_id r : wcg.all_resources()) {
+                const std::vector<timed_op>& chain = recompute(r);
+                if (chain.empty()) {
+                    continue;
+                }
+                const double ratio =
+                    static_cast<double>(chain.size()) / wcg.area(r);
+                const bool better =
+                    ratio > best_ratio ||
+                    (ratio == best_ratio &&
+                     (best_chain_ptr == nullptr ||
+                      chain.size() > best_chain_ptr->size() ||
+                      (chain.size() == best_chain_ptr->size() &&
+                       r < best_r)));
+                if (better) {
+                    best_ratio = ratio;
+                    best_r = r;
+                    best_chain_ptr = &chain;
                 }
             }
-            if (candidates.empty()) {
-                continue;
-            }
-            std::vector<timed_op> chain = longest_chain(candidates);
-            const double ratio =
-                static_cast<double>(chain.size()) / wcg.area(r);
-            const bool better =
-                ratio > best_ratio ||
-                (ratio == best_ratio &&
-                 (chain.size() > best_chain.size() ||
-                  (chain.size() == best_chain.size() && r < best_r)));
-            if (better) {
-                best_ratio = ratio;
-                best_r = r;
-                best_chain = std::move(chain);
-            }
         }
-        // Every uncovered operation keeps at least one H edge, so a
-        // candidate always exists.
-        MWL_ASSERT(best_r.is_valid() && !best_chain.empty());
+        MWL_ASSERT(best_r.is_valid() && best_chain_ptr != nullptr &&
+                   !best_chain_ptr->empty());
+        std::vector<timed_op>& best_chain = sc.best_chain;
+        best_chain.assign(best_chain_ptr->begin(), best_chain_ptr->end());
 
         for (const timed_op& item : best_chain) {
             MWL_ASSERT(!covered[item.op.value()]);
             covered[item.op.value()] = true;
             ++n_covered;
+            if (options.cache_chains) {
+                // Only chains that contain the newly covered operation
+                // can change; everything else's chain is still exact.
+                for (const res_id r : sc.chain_users[item.op.value()]) {
+                    sc.entry_valid[r.value()] = 0;
+                }
+                sc.chain_users[item.op.value()].clear();
+            }
         }
 
         if (options.enable_growth) {
             // Greed compensation: try to grow the new clique (keeping its
             // resource type, so total cost can only drop) to swallow
             // previously selected cliques; absorbed cliques are deleted.
+            // `best_chain` stays sorted by start throughout, which
+            // can_absorb's merge walk relies on.
             bool absorbed = true;
             while (absorbed) {
                 absorbed = false;
                 for (std::size_t j = 0; j < result.cliques.size(); ++j) {
                     const binding_clique& prev = result.cliques[j];
-                    if (!can_absorb(wcg, best_r, best_chain, prev.ops,
-                                    start_times, latencies)) {
+                    const bool fits =
+                        options.cache_chains
+                            ? can_absorb(wcg, best_r, best_chain, prev.ops,
+                                         start_times, latencies)
+                            : can_absorb_copying(wcg, best_r, best_chain,
+                                                 prev.ops, start_times,
+                                                 latencies);
+                    if (!fits) {
                         continue;
                     }
-                    for (const op_id o : prev.ops) {
-                        best_chain.push_back(
-                            make_timed(o, start_times, latencies));
+                    // Keep the sorted-by-start invariant can_absorb's
+                    // merge walk relies on (a chain has distinct starts);
+                    // merge through a reused buffer, no allocation.
+                    std::vector<timed_op>& merged = sc.merge_tmp;
+                    merged.clear();
+                    std::size_t bi = 0;
+                    std::size_t ei = 0;
+                    while (bi < best_chain.size() || ei < prev.ops.size()) {
+                        if (ei == prev.ops.size() ||
+                            (bi < best_chain.size() &&
+                             best_chain[bi].start <=
+                                 start_times[prev.ops[ei].value()])) {
+                            merged.push_back(best_chain[bi++]);
+                        } else {
+                            merged.push_back(make_timed(prev.ops[ei++],
+                                                        start_times,
+                                                        latencies));
+                        }
                     }
+                    best_chain.swap(merged);
                     result.cliques.erase(result.cliques.begin() +
                                          static_cast<std::ptrdiff_t>(j));
                     absorbed = true;
@@ -118,10 +396,6 @@ binding bind_select(const wordlength_compatibility_graph& wcg,
             }
         }
 
-        std::sort(best_chain.begin(), best_chain.end(),
-                  [](const timed_op& a, const timed_op& b) {
-                      return a.start < b.start;
-                  });
         binding_clique clique;
         clique.resource = best_r;
         clique.ops.reserve(best_chain.size());
@@ -135,7 +409,10 @@ binding bind_select(const wordlength_compatibility_graph& wcg,
         // Wordlength selection proper: each clique takes the cheapest
         // resource type still satisfying Eqn. 4 (pure improvement).
         for (binding_clique& k : result.cliques) {
-            const res_id cheapest = cheapest_common_resource(wcg, k.ops);
+            const res_id cheapest =
+                options.cache_chains
+                    ? cheapest_common_resource(wcg, k.ops, sc.hits)
+                    : cheapest_common_resource_scan(wcg, k.ops);
             MWL_ASSERT(cheapest.is_valid()); // current resource qualifies
             if (wcg.area(cheapest) < wcg.area(k.resource)) {
                 k.resource = cheapest;

@@ -16,9 +16,13 @@
 #define MWL_BIND_BIND_SELECT_HPP
 
 #include "bind/binding.hpp"
+#include "wcg/chains.hpp"
 #include "wcg/wcg.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 namespace mwl {
 
@@ -28,6 +32,47 @@ struct bind_options {
     /// After covering, re-assign each clique the cheapest resource type
     /// satisfying Eqn. 4 (pure improvement; wordlength selection proper).
     bool reassign_cheapest = true;
+    /// Reuse each resource type's candidate chain across Chvátal rounds,
+    /// recomputing only for resources that lost a newly-covered operation
+    /// (identical output; off = recompute every chain every round, kept for
+    /// the before/after bench and regression tests).
+    bool cache_chains = true;
+};
+
+/// Reusable buffers for bind_select, owned by a looping caller (the
+/// DPAlloc refinement loop) so repeated binds allocate almost nothing.
+/// Pure scratch: contents are reset on every call and carry no information
+/// between calls.
+/// Selection key of the lazy Chvátal heap (see bind_select.cpp); public
+/// only so bind_scratch can own the heap storage.
+struct bind_chain_key {
+    double ratio = -1.0;
+    std::size_t length = 0;
+    res_id r;
+
+    [[nodiscard]] bool operator<(const bind_chain_key& other) const
+    {
+        if (ratio != other.ratio) {
+            return ratio < other.ratio;
+        }
+        if (length != other.length) {
+            return length < other.length;
+        }
+        return r > other.r;
+    }
+};
+
+struct bind_scratch {
+    std::vector<std::uint8_t> entry_valid;       ///< per-resource memo flag
+    std::vector<std::vector<timed_op>> entry_chain; ///< per-resource chain
+    std::vector<std::vector<res_id>> chain_users; ///< per-op chain members
+    std::vector<timed_op> candidates;
+    std::vector<timed_op> best_chain;
+    std::vector<timed_op> merge_tmp;
+    std::vector<std::uint32_t> hits;
+    std::vector<std::uint32_t> stamp;            ///< distinct-start seeding
+    std::vector<bind_chain_key> heap;            ///< lazy selection heap
+    chain_scratch chains;
 };
 
 /// Bind every operation of `wcg.graph()`.
@@ -42,7 +87,8 @@ struct bind_options {
 [[nodiscard]] binding bind_select(const wordlength_compatibility_graph& wcg,
                                   std::span<const int> start_times,
                                   std::span<const int> latencies,
-                                  const bind_options& options = {});
+                                  const bind_options& options = {},
+                                  bind_scratch* scratch = nullptr);
 
 } // namespace mwl
 

@@ -2,6 +2,9 @@
 
 #include "support/error.hpp"
 
+#include <cstdint>
+#include <vector>
+
 namespace mwl {
 
 void finalize_binding(binding& b, std::size_t n_ops,
@@ -30,16 +33,39 @@ void finalize_binding(binding& b, std::size_t n_ops,
 res_id cheapest_common_resource(const wordlength_compatibility_graph& wcg,
                                 std::span<const op_id> ops)
 {
-    res_id best = res_id::invalid();
-    for (const res_id r : wcg.all_resources()) {
-        bool covers_all = true;
-        for (const op_id o : ops) {
-            if (!wcg.compatible(o, r)) {
-                covers_all = false;
-                break;
+    std::vector<std::uint32_t> hits;
+    return cheapest_common_resource(wcg, ops, hits);
+}
+
+res_id cheapest_common_resource(const wordlength_compatibility_graph& wcg,
+                                std::span<const op_id> ops,
+                                std::vector<std::uint32_t>& hits_scratch)
+{
+    if (ops.empty()) {
+        // Every resource is vacuously common; cheapest overall, ties
+        // towards smaller res_id (matches a full scan).
+        res_id best = res_id::invalid();
+        for (const res_id r : wcg.all_resources()) {
+            if (!best.is_valid() || wcg.area(r) < wcg.area(best)) {
+                best = r;
             }
         }
-        if (!covers_all) {
+        return best;
+    }
+
+    // Intersect the H(o) adjacency lists by counting instead of probing
+    // every (resource, op) pair: r is common iff it appears in all |ops|
+    // lists. O(sum |H(o)|) instead of O(|R| * |ops| * log).
+    std::vector<std::uint32_t>& hits = hits_scratch;
+    hits.assign(wcg.resource_count(), 0);
+    for (const op_id o : ops) {
+        for (const res_id r : wcg.resources_for(o)) {
+            ++hits[r.value()];
+        }
+    }
+    res_id best = res_id::invalid();
+    for (const res_id r : wcg.resources_for(ops.front())) {
+        if (hits[r.value()] != ops.size()) {
             continue;
         }
         if (!best.is_valid() || wcg.area(r) < wcg.area(best)) {

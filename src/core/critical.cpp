@@ -3,24 +3,28 @@
 #include "support/error.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 
 namespace mwl {
 namespace {
 
-/// The augmented graph is only needed transiently; we materialise it as
-/// adjacency lists over op indices (S edges plus S^b edges).
-struct augmented_graph {
-    std::vector<std::vector<std::size_t>> succs;
-    std::vector<std::vector<std::size_t>> preds;
-};
-
-augmented_graph build_augmented(const sequencing_graph& graph,
-                                const datapath& path)
+void build_augmented(const sequencing_graph& graph,
+                     std::span<const int> start,
+                     std::span<const int> bound_lat,
+                     std::span<const std::size_t> instance_of_op,
+                     critical_path_scratch& aug)
 {
+    // The augmented graph is only needed transiently; we materialise it as
+    // adjacency lists over op indices (S edges plus S^b edges) in the
+    // scratch's reused rows.
     const std::size_t n = graph.size();
-    augmented_graph aug;
-    aug.succs.resize(n);
-    aug.preds.resize(n);
+    aug.succs.resize(std::max(aug.succs.size(), n));
+    aug.preds.resize(std::max(aug.preds.size(), n));
+    for (std::size_t o = 0; o < n; ++o) {
+        aug.succs[o].clear();
+        aug.preds[o].clear();
+    }
     const auto add_edge = [&](std::size_t from, std::size_t to) {
         auto& row = aug.succs[from];
         if (std::find(row.begin(), row.end(), to) == row.end()) {
@@ -33,46 +37,65 @@ augmented_graph build_augmented(const sequencing_graph& graph,
             add_edge(o.value(), s.value());
         }
     }
-    // S^b: back-to-back pairs on the same instance.
-    for (const datapath_instance& inst : path.instances) {
-        for (const op_id o1 : inst.ops) {
-            for (const op_id o2 : inst.ops) {
-                if (o1 == o2) {
-                    continue;
-                }
-                if (path.start[o1.value()] + inst.latency ==
-                    path.start[o2.value()]) {
-                    add_edge(o1.value(), o2.value());
+
+    // S^b: back-to-back pairs on the same instance. Within one instance,
+    // sorted by start time, any qualifying pair (start1 + l1 == start2,
+    // l1 >= 1) has start2 strictly after start1, so scanning forward from
+    // each op until starts exceed the target finds every pair -- O(k log k)
+    // per instance instead of the all-pairs O(k^2) probe.
+    std::size_t n_instances = 0;
+    for (const std::size_t inst : instance_of_op) {
+        n_instances = std::max(n_instances, inst + 1);
+    }
+    auto& members = aug.members;
+    members.resize(std::max(members.size(), n_instances));
+    for (std::size_t i = 0; i < n_instances; ++i) {
+        members[i].clear();
+    }
+    for (std::size_t o = 0; o < n; ++o) {
+        members[instance_of_op[o]].push_back(o);
+    }
+    for (std::size_t mi = 0; mi < n_instances; ++mi) {
+        auto& ops = members[mi];
+        std::sort(ops.begin(), ops.end(), [&](std::size_t a, std::size_t b) {
+            return start[a] < start[b];
+        });
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const int target = start[ops[i]] + bound_lat[ops[i]];
+            for (std::size_t j = i + 1;
+                 j < ops.size() && start[ops[j]] <= target; ++j) {
+                if (start[ops[j]] == target) {
+                    add_edge(ops[i], ops[j]);
                 }
             }
         }
     }
-    return aug;
 }
 
-std::vector<std::size_t> topo_order(const augmented_graph& aug)
+std::vector<std::size_t> topo_order(const critical_path_scratch& aug,
+                                    std::size_t n)
 {
-    const std::size_t n = aug.succs.size();
     std::vector<std::size_t> in_degree(n, 0);
     for (std::size_t o = 0; o < n; ++o) {
         in_degree[o] = aug.preds[o].size();
     }
-    std::vector<std::size_t> ready;
+    std::priority_queue<std::size_t, std::vector<std::size_t>,
+                        std::greater<>>
+        ready;
     for (std::size_t o = 0; o < n; ++o) {
         if (in_degree[o] == 0) {
-            ready.push_back(o);
+            ready.push(o);
         }
     }
     std::vector<std::size_t> order;
     order.reserve(n);
     while (!ready.empty()) {
-        const auto it = std::min_element(ready.begin(), ready.end());
-        const std::size_t o = *it;
-        ready.erase(it);
+        const std::size_t o = ready.top();
+        ready.pop();
         order.push_back(o);
         for (const std::size_t s : aug.succs[o]) {
             if (--in_degree[s] == 0) {
-                ready.push_back(s);
+                ready.push(s);
             }
         }
     }
@@ -84,26 +107,31 @@ std::vector<std::size_t> topo_order(const augmented_graph& aug)
 
 } // namespace
 
-bound_critical_path compute_bound_critical_path(const sequencing_graph& graph,
-                                                const datapath& path)
+bound_critical_path compute_bound_critical_path(
+    const sequencing_graph& graph, std::span<const int> start,
+    std::span<const int> bound_latencies,
+    std::span<const std::size_t> instance_of_op,
+    critical_path_scratch* scratch)
 {
     const std::size_t n = graph.size();
-    require(path.start.size() == n && path.instance_of_op.size() == n,
-            "datapath does not match graph");
+    require(start.size() == n && bound_latencies.size() == n &&
+                instance_of_op.size() == n,
+            "schedule/binding vectors do not match graph");
 
     bound_critical_path result;
     if (n == 0) {
         return result;
     }
 
-    const augmented_graph aug = build_augmented(graph, path);
-    const std::vector<std::size_t> order = topo_order(aug);
+    critical_path_scratch local;
+    critical_path_scratch& aug = scratch ? *scratch : local;
+    build_augmented(graph, start, bound_latencies, instance_of_op, aug);
+    const std::vector<std::size_t> order = topo_order(aug, n);
 
-    const auto latency = [&](std::size_t o) {
-        return path.bound_latency(op_id(o));
-    };
+    const auto latency = [&](std::size_t o) { return bound_latencies[o]; };
 
-    std::vector<int> asap(n, 0);
+    auto& asap = aug.asap;
+    asap.assign(n, 0);
     for (const std::size_t o : order) {
         for (const std::size_t p : aug.preds[o]) {
             asap[o] = std::max(asap[o], asap[p] + latency(p));
@@ -115,7 +143,8 @@ bound_critical_path compute_bound_critical_path(const sequencing_graph& graph,
     }
     result.augmented_length = length;
 
-    std::vector<int> alap(n, 0);
+    auto& alap = aug.alap;
+    alap.assign(n, 0);
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
         const std::size_t o = *it;
         alap[o] = length - latency(o);
@@ -131,6 +160,21 @@ bound_critical_path compute_bound_critical_path(const sequencing_graph& graph,
         }
     }
     return result;
+}
+
+bound_critical_path compute_bound_critical_path(const sequencing_graph& graph,
+                                                const datapath& path)
+{
+    const std::size_t n = graph.size();
+    require(path.start.size() == n && path.instance_of_op.size() == n,
+            "datapath does not match graph");
+
+    std::vector<int> bound_lat(n, 0);
+    for (const op_id o : graph.all_ops()) {
+        bound_lat[o.value()] = path.bound_latency(o);
+    }
+    return compute_bound_critical_path(graph, path.start, bound_lat,
+                                       path.instance_of_op);
 }
 
 } // namespace mwl

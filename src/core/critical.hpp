@@ -19,6 +19,7 @@
 #include "core/datapath.hpp"
 #include "dfg/sequencing_graph.hpp"
 
+#include <span>
 #include <vector>
 
 namespace mwl {
@@ -31,6 +32,27 @@ struct bound_critical_path {
 /// Compute Q^b for a (possibly constraint-violating) allocation.
 [[nodiscard]] bound_critical_path compute_bound_critical_path(
     const sequencing_graph& graph, const datapath& path);
+
+/// Reusable buffers for compute_bound_critical_path; pure scratch owned by
+/// a looping caller (the DPAlloc refinement loop).
+struct critical_path_scratch {
+    std::vector<std::vector<std::size_t>> succs;
+    std::vector<std::vector<std::size_t>> preds;
+    std::vector<std::vector<std::size_t>> members;
+    std::vector<int> asap;
+    std::vector<int> alap;
+};
+
+/// As above, from the raw ingredients instead of a materialised datapath:
+/// `start` / `bound_latencies` per operation and `instance_of_op` grouping
+/// operations onto resource instances. The DPAlloc refinement loop uses
+/// this form so it never has to assemble a datapath for an allocation it
+/// is about to discard. `scratch` (optional) reuses buffers across calls.
+[[nodiscard]] bound_critical_path compute_bound_critical_path(
+    const sequencing_graph& graph, std::span<const int> start,
+    std::span<const int> bound_latencies,
+    std::span<const std::size_t> instance_of_op,
+    critical_path_scratch* scratch = nullptr);
 
 } // namespace mwl
 

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 
 namespace mwl {
 namespace {
@@ -112,18 +113,57 @@ dpalloc_result dpalloc(const sequencing_graph& graph,
 
     const bind_options bind_opts{.enable_growth = options.enable_growth,
                                  .reassign_cheapest =
-                                     options.reassign_cheapest};
+                                     options.reassign_cheapest,
+                                 .cache_chains = options.incremental};
+    const sched_engine engine = options.incremental
+                                    ? sched_engine::event
+                                    : sched_engine::reference_scan;
+
+    // Cross-iteration scratch: scheduling buffers plus the scheduling-set
+    // memo keyed on the WCG edge version. refine_op bumps the version, so
+    // refinement iterations recompute the cover (warm-started by the
+    // previous optimum) while capacity escalations reuse it outright.
+    incomplete_sched_scratch scratch;
+    incomplete_sched_scratch* const scratch_ptr =
+        options.incremental ? &scratch : nullptr;
+
+    // Per-iteration views of the tentative allocation, reused across
+    // iterations (capacity persists; contents rewritten each round).
+    std::vector<int> bound_lat;
+    std::vector<std::size_t> instance_of_op;
+    bind_scratch bind_sc;
+    bind_scratch* const bind_sc_ptr = options.incremental ? &bind_sc : nullptr;
+    critical_path_scratch critical_sc;
+    critical_path_scratch* const critical_sc_ptr =
+        options.incremental ? &critical_sc : nullptr;
 
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
         ++result.stats.iterations;
-        const std::vector<int> upper = wcg.latency_upper_bounds();
+        std::vector<int> upper;
+        if (options.incremental) {
+            upper = wcg.latency_upper_bounds(); // O(|O|) from the cache
+        } else {
+            // Reference pipeline: re-derive every bound from the H rows,
+            // as the pre-incremental implementation did.
+            upper.reserve(graph.size());
+            for (const op_id o : graph.all_ops()) {
+                int bound = 0;
+                for (const res_id r : wcg.resources_for(o)) {
+                    bound = std::max(bound, wcg.latency(r));
+                }
+                upper.push_back(bound);
+            }
+        }
 
         // Schedule with incomplete wordlength information.
         std::vector<int> start;
         if (options.classic_constraint) {
             // Ablation arm: Eqn. 2 with N_y = capacity x (scheduling-set
             // members of kind y), the closest classic counterpart.
-            const scheduling_set_result cover = min_scheduling_set(wcg);
+            const scheduling_set_result cover =
+                options.incremental
+                    ? min_scheduling_set(wcg, scratch.cover_cache)
+                    : min_scheduling_set(wcg);
             result.stats.cover_always_minimum &= cover.proven_minimum;
             type_limits limits{.add = 0, .mul = 0};
             for (const res_id s : cover.members) {
@@ -133,28 +173,59 @@ dpalloc_result dpalloc(const sequencing_graph& graph,
             }
             limits.add = std::max(limits.add, 1);
             limits.mul = std::max(limits.mul, 1);
-            start = list_schedule(graph, upper, limits).start;
+            start = list_schedule(graph, upper, limits,
+                                  scratch_ptr ? &scratch.ws : nullptr,
+                                  engine)
+                        .start;
         } else {
             incomplete_schedule_result sched =
-                schedule_incomplete(wcg, capacity);
+                schedule_incomplete(wcg, capacity, scratch_ptr, engine);
             result.stats.cover_always_minimum &= sched.cover_proven_minimum;
             start = std::move(sched.start);
         }
 
-        // Bind and select wordlengths; assemble the tentative datapath.
-        const binding bind = bind_select(wcg, start, upper, bind_opts);
-        datapath path = make_datapath(graph, wcg, start, bind);
+        // Bind and select wordlengths. Only the per-op bound latencies and
+        // the instance grouping are needed unless the allocation is
+        // feasible, so the incremental pipeline assembles the full
+        // datapath just once, on exit; the reference pipeline materialises
+        // it every iteration, as the original loop did.
+        const binding bind =
+            bind_select(wcg, start, upper, bind_opts, bind_sc_ptr);
+        bound_lat.assign(graph.size(), 0);
+        instance_of_op.assign(graph.size(), 0);
+        int achieved = 0;
+        std::optional<datapath> reference_path;
+        if (options.incremental) {
+            for (std::size_t ci = 0; ci < bind.cliques.size(); ++ci) {
+                const binding_clique& k = bind.cliques[ci];
+                const int lat = wcg.latency(k.resource);
+                for (const op_id o : k.ops) {
+                    bound_lat[o.value()] = lat;
+                    instance_of_op[o.value()] = ci;
+                    achieved = std::max(achieved, start[o.value()] + lat);
+                }
+            }
+        } else {
+            reference_path = make_datapath(graph, wcg, start, bind);
+            for (const op_id o : graph.all_ops()) {
+                bound_lat[o.value()] = reference_path->bound_latency(o);
+            }
+            instance_of_op = reference_path->instance_of_op;
+            achieved = reference_path->latency;
+        }
 
-        if (path.latency <= lambda) {
-            result.path = std::move(path);
+        if (achieved <= lambda) {
+            result.path = reference_path
+                              ? std::move(*reference_path)
+                              : make_datapath(graph, wcg, start, bind);
             return result;
         }
 
         // Refinement (§2.4): restrict to the bound critical path, prefer
         // operations that still finish within lambda under their upper
         // bound, and require refinability (a strictly faster resource).
-        const bound_critical_path qb =
-            compute_bound_critical_path(graph, path);
+        const bound_critical_path qb = compute_bound_critical_path(
+            graph, start, bound_lat, instance_of_op, critical_sc_ptr);
 
         std::vector<op_id> candidates;
         for (const op_id o : qb.ops) {
@@ -183,11 +254,11 @@ dpalloc_result dpalloc(const sequencing_graph& graph,
         if (!candidates.empty()) {
             op_id chosen = candidates.front();
             refine_metric best =
-                metric_for(wcg, chosen, path.bound_latency(chosen));
+                metric_for(wcg, chosen, bound_lat[chosen.value()]);
             for (std::size_t i = 1; i < candidates.size(); ++i) {
                 const op_id o = candidates[i];
                 const refine_metric m =
-                    metric_for(wcg, o, path.bound_latency(o));
+                    metric_for(wcg, o, bound_lat[o.value()]);
                 if (better_candidate(o, m, chosen, best)) {
                     chosen = o;
                     best = m;

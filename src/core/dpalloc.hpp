@@ -36,6 +36,14 @@ struct dpalloc_options {
     /// Ablation: use the classic per-type constraint (Eqn. 2) instead of
     /// the paper's incomplete-wordlength constraint (Eqn. 3').
     bool classic_constraint = false;
+    /// Run the incremental pipeline: event-driven scheduling, memoized /
+    /// warm-started scheduling-set covers keyed on the WCG edge version,
+    /// chain caching in BindSelect, and reused scheduling buffers across
+    /// refinement iterations. `false` re-derives everything from scratch
+    /// every iteration (the original pipeline) and exists for the
+    /// regression tests and bench/iteration_scaling.cpp; both settings
+    /// produce byte-identical results (see PERF.md).
+    bool incremental = true;
     /// Initial instances per scheduling-set member (paper: 1).
     int initial_capacity = 1;
     /// Safety bound on refinement iterations; never reached in practice

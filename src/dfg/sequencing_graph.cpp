@@ -3,6 +3,8 @@
 #include "support/error.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 
 namespace mwl {
 
@@ -71,24 +73,22 @@ std::vector<op_id> sequencing_graph::topological_order() const
         in_degree[i] = preds_[i].size();
     }
 
-    std::vector<op_id> ready;
+    std::priority_queue<op_id, std::vector<op_id>, std::greater<>> ready;
     for (std::size_t i = 0; i < size(); ++i) {
         if (in_degree[i] == 0) {
-            ready.emplace_back(i);
+            ready.emplace(i);
         }
     }
 
     std::vector<op_id> order;
     order.reserve(size());
     while (!ready.empty()) {
-        const auto next =
-            std::min_element(ready.begin(), ready.end());
-        const op_id id = *next;
-        ready.erase(next);
+        const op_id id = ready.top();
+        ready.pop();
         order.push_back(id);
         for (const op_id succ : succs_[id.value()]) {
             if (--in_degree[succ.value()] == 0) {
-                ready.push_back(succ);
+                ready.push(succ);
             }
         }
     }

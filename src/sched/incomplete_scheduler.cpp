@@ -9,71 +9,33 @@
 #include <numeric>
 
 namespace mwl {
+namespace {
 
-incomplete_schedule_result schedule_incomplete(
-    const wordlength_compatibility_graph& wcg, int capacity)
+/// Reference placement loop: the original per-step full-graph ready rescan.
+/// Kept verbatim for the regression tests and the before/after bench; the
+/// production path is the event engine below.
+void reference_scan_pass(
+    const sequencing_graph& graph, std::span<const int> upper,
+    std::span<const int> priority,
+    const std::vector<std::vector<std::size_t>>& members_of_op,
+    std::span<std::int64_t> usage, int horizon, std::int64_t scale,
+    std::int64_t budget, std::vector<int>& start)
 {
-    require(capacity >= 1, "scheduling-set member capacity must be >= 1");
-
-    const sequencing_graph& graph = wcg.graph();
-    incomplete_schedule_result result;
-    result.start.assign(graph.size(), -1);
-    if (graph.empty()) {
-        return result;
-    }
-
-    const scheduling_set_result cover = min_scheduling_set(wcg);
-    result.scheduling_set = cover.members;
-    result.cover_proven_minimum = cover.proven_minimum;
-    const std::size_t n_members = cover.members.size();
-    MWL_ASSERT(n_members >= 1);
-
-    // S(o): indices into cover.members compatible with o.
-    std::vector<std::vector<std::size_t>> members_of_op(graph.size());
-    for (const op_id o : graph.all_ops()) {
-        for (std::size_t mi = 0; mi < n_members; ++mi) {
-            if (wcg.compatible(o, cover.members[mi])) {
-                members_of_op[o.value()].push_back(mi);
-            }
-        }
-        MWL_ASSERT(!members_of_op[o.value()].empty()); // S is a cover
-    }
-
-    // Exact fractional accounting: scale everything by the lcm of the
-    // |S(o)| values, so each op contributes scale/|S(o)| integer units to
-    // each of its members, against a budget of capacity*scale per member.
-    std::int64_t scale = 1;
-    for (const auto& members : members_of_op) {
-        scale = std::lcm(scale, static_cast<std::int64_t>(members.size()));
-    }
-    const std::int64_t budget = static_cast<std::int64_t>(capacity) * scale;
-
-    const std::vector<int> upper = wcg.latency_upper_bounds();
-    const std::vector<int> priority = critical_path_priorities(graph, upper);
-
-    int horizon = 0;
-    int max_latency = 0;
-    for (const int latency : upper) {
-        horizon += latency;
-        max_latency = std::max(max_latency, latency);
-    }
-    horizon += max_latency;
-    // usage[mi][t]: scaled usage of member mi during step t.
-    std::vector<std::vector<std::int64_t>> usage(
-        n_members,
-        std::vector<std::int64_t>(static_cast<std::size_t>(horizon), 0));
-
+    const auto usage_row = [&](std::size_t mi) {
+        return usage.subspan(mi * static_cast<std::size_t>(horizon),
+                             static_cast<std::size_t>(horizon));
+    };
     std::size_t scheduled = 0;
     for (int t = 0; scheduled < graph.size(); ++t) {
         MWL_ASSERT(t < horizon);
         std::vector<op_id> ready;
         for (const op_id o : graph.all_ops()) {
-            if (result.start[o.value()] >= 0) {
+            if (start[o.value()] >= 0) {
                 continue;
             }
             bool ok = true;
             for (const op_id p : graph.predecessors(o)) {
-                const int ps = result.start[p.value()];
+                const int ps = start[p.value()];
                 if (ps < 0 || ps + upper[p.value()] > t) {
                     ok = false;
                     break;
@@ -97,9 +59,9 @@ incomplete_schedule_result schedule_incomplete(
             const int lat = upper[o.value()];
             bool fits = true;
             for (const std::size_t mi : members) {
+                const auto row = usage_row(mi);
                 for (int u = t; u < t + lat && fits; ++u) {
-                    fits = usage[mi][static_cast<std::size_t>(u)] + share <=
-                           budget;
+                    fits = row[static_cast<std::size_t>(u)] + share <= budget;
                 }
                 if (!fits) {
                     break;
@@ -108,14 +70,119 @@ incomplete_schedule_result schedule_incomplete(
             if (!fits) {
                 continue;
             }
-            result.start[o.value()] = t;
+            start[o.value()] = t;
             ++scheduled;
             for (const std::size_t mi : members) {
+                const auto row = usage_row(mi);
                 for (int u = t; u < t + lat; ++u) {
-                    usage[mi][static_cast<std::size_t>(u)] += share;
+                    row[static_cast<std::size_t>(u)] += share;
                 }
             }
         }
+    }
+}
+
+} // namespace
+
+incomplete_schedule_result schedule_incomplete(
+    const wordlength_compatibility_graph& wcg, int capacity,
+    incomplete_sched_scratch* scratch, sched_engine engine)
+{
+    require(capacity >= 1, "scheduling-set member capacity must be >= 1");
+
+    const sequencing_graph& graph = wcg.graph();
+    incomplete_schedule_result result;
+    result.start.assign(graph.size(), -1);
+    if (graph.empty()) {
+        return result;
+    }
+
+    incomplete_sched_scratch local;
+    incomplete_sched_scratch& sc = scratch ? *scratch : local;
+
+    const scheduling_set_result cover =
+        min_scheduling_set(wcg, sc.cover_cache);
+    result.scheduling_set = cover.members;
+    result.cover_proven_minimum = cover.proven_minimum;
+    const std::size_t n_members = cover.members.size();
+    MWL_ASSERT(n_members >= 1);
+
+    // S(o): indices into cover.members compatible with o, ascending.
+    auto& members_of_op = sc.members_of_op;
+    members_of_op.resize(graph.size());
+    for (auto& row : members_of_op) {
+        row.clear(); // keep capacity across iterations via the scratch
+    }
+    if (engine == sched_engine::reference_scan) {
+        // Pre-incremental construction: binary-search every
+        // (operation, member) pair -- O(N * M * log R).
+        for (const op_id o : graph.all_ops()) {
+            for (std::size_t mi = 0; mi < n_members; ++mi) {
+                if (wcg.compatible(o, cover.members[mi])) {
+                    members_of_op[o.value()].push_back(mi);
+                }
+            }
+        }
+    } else {
+        // One pass over the members' O(s) adjacency lists -- O(E).
+        for (std::size_t mi = 0; mi < n_members; ++mi) {
+            for (const op_id o : wcg.ops_for(cover.members[mi])) {
+                members_of_op[o.value()].push_back(mi);
+            }
+        }
+    }
+    for (const op_id o : graph.all_ops()) {
+        MWL_ASSERT(!members_of_op[o.value()].empty()); // S is a cover
+    }
+
+    // Exact fractional accounting: scale everything by the lcm of the
+    // |S(o)| values, so each op contributes scale/|S(o)| integer units to
+    // each of its members, against a budget of capacity*scale per member.
+    std::int64_t scale = 1;
+    for (const auto& members : members_of_op) {
+        scale = std::lcm(scale, static_cast<std::int64_t>(members.size()));
+    }
+    const std::int64_t budget = static_cast<std::int64_t>(capacity) * scale;
+
+    const std::vector<int> upper = wcg.latency_upper_bounds();
+    const std::vector<int> priority = critical_path_priorities(graph, upper);
+
+    const int horizon = serial_horizon(upper);
+    // usage[mi * horizon + t]: scaled usage of member mi during step t,
+    // one flat arena reused across calls through the scratch.
+    auto& usage = sc.ws.usage;
+    usage.assign(n_members * static_cast<std::size_t>(horizon), 0);
+
+    if (engine == sched_engine::reference_scan) {
+        reference_scan_pass(graph, upper, priority, members_of_op, usage,
+                            horizon, scale, budget, result.start);
+    } else {
+        const auto try_place = [&](op_id o, int t) {
+            const auto& members = members_of_op[o.value()];
+            const std::int64_t share =
+                scale / static_cast<std::int64_t>(members.size());
+            const int lat = upper[o.value()];
+            for (const std::size_t mi : members) {
+                const std::size_t base =
+                    mi * static_cast<std::size_t>(horizon);
+                for (int u = t; u < t + lat; ++u) {
+                    if (usage[base + static_cast<std::size_t>(u)] + share >
+                        budget) {
+                        return false;
+                    }
+                }
+            }
+            for (const std::size_t mi : members) {
+                const std::size_t base =
+                    mi * static_cast<std::size_t>(horizon);
+                for (int u = t; u < t + lat; ++u) {
+                    usage[base + static_cast<std::size_t>(u)] += share;
+                }
+            }
+            return true;
+        };
+        event_schedule(graph, upper, priority, horizon, result.start, sc.ws,
+                       try_place);
     }
 
     result.length = schedule_length(graph, upper, result.start);

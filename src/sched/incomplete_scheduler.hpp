@@ -19,6 +19,7 @@
 #ifndef MWL_SCHED_INCOMPLETE_SCHEDULER_HPP
 #define MWL_SCHED_INCOMPLETE_SCHEDULER_HPP
 
+#include "sched/event_engine.hpp"
 #include "sched/scheduling_set.hpp"
 #include "wcg/wcg.hpp"
 
@@ -33,11 +34,27 @@ struct incomplete_schedule_result {
     bool cover_proven_minimum = true;
 };
 
+/// Cross-iteration state for schedule_incomplete: the event-engine buffers
+/// and usage arena (so repeated passes allocate nothing) and the
+/// scheduling-set memo keyed on the WCG edge version. One instance lives
+/// for the duration of a DPAlloc run (core/dpalloc.cpp).
+struct incomplete_sched_scratch {
+    event_schedule_workspace ws;
+    scheduling_set_cache cover_cache;
+    std::vector<std::vector<std::size_t>> members_of_op;
+};
+
 /// Schedule all operations of `wcg.graph()` using the latency upper bounds
 /// L_o derived from the current H edges. `capacity` is the number of
 /// resource instances each scheduling-set member may represent (>= 1).
+/// `scratch` (optional) carries reusable buffers and the scheduling-set
+/// memo across calls; `engine` selects the event-driven engine or the
+/// original full-rescan reference (identical output, see
+/// sched/event_engine.hpp).
 [[nodiscard]] incomplete_schedule_result schedule_incomplete(
-    const wordlength_compatibility_graph& wcg, int capacity = 1);
+    const wordlength_compatibility_graph& wcg, int capacity = 1,
+    incomplete_sched_scratch* scratch = nullptr,
+    sched_engine engine = sched_engine::event);
 
 } // namespace mwl
 

@@ -7,56 +7,32 @@
 #include <algorithm>
 
 namespace mwl {
+namespace {
 
-list_schedule_result list_schedule(const sequencing_graph& graph,
-                                   std::span<const int> latencies,
-                                   const type_limits& limits)
+/// Reference placement loop: the original per-step full-graph ready rescan.
+/// Kept for the regression tests and the before/after bench.
+void reference_scan_pass(const sequencing_graph& graph,
+                         std::span<const int> latencies,
+                         std::span<const int> priority,
+                         const type_limits& limits,
+                         std::span<std::int64_t> running, int horizon,
+                         std::vector<int>& start)
 {
-    require(latencies.size() == graph.size(),
-            "latency vector size must equal the number of operations");
-    require(limits.add >= 1 && limits.mul >= 1,
-            "resource limits must be at least 1");
-    for (const int latency : latencies) {
-        require(latency >= 1, "operation latencies must be >= 1");
-    }
-
-    list_schedule_result result;
-    result.start.assign(graph.size(), -1);
-    if (graph.empty()) {
-        return result;
-    }
-
-    const std::vector<int> priority =
-        critical_path_priorities(graph, latencies);
-
-    // running[y][t]: type-y operations executing during step t.
-    // Horizon bound: serialising everything is always feasible; the extra
-    // max-latency slack keeps occupancy probes in range near the end.
-    int horizon = 0;
-    int max_latency = 0;
-    for (const int latency : latencies) {
-        horizon += latency;
-        max_latency = std::max(max_latency, latency);
-    }
-    horizon += max_latency;
-    std::vector<std::vector<int>> running(
-        2, std::vector<int>(static_cast<std::size_t>(horizon), 0));
     const auto kind_index = [](op_kind kind) {
         return kind == op_kind::add ? std::size_t{0} : std::size_t{1};
     };
-
     std::size_t scheduled = 0;
     for (int t = 0; scheduled < graph.size(); ++t) {
         MWL_ASSERT(t < horizon);
         // Ready: unscheduled, every predecessor finished by t.
         std::vector<op_id> ready;
         for (const op_id o : graph.all_ops()) {
-            if (result.start[o.value()] >= 0) {
+            if (start[o.value()] >= 0) {
                 continue;
             }
             bool ok = true;
             for (const op_id p : graph.predecessors(o)) {
-                const int ps = result.start[p.value()];
+                const int ps = start[p.value()];
                 if (ps < 0 || ps + latencies[p.value()] > t) {
                     ok = false;
                     break;
@@ -74,13 +50,14 @@ list_schedule_result list_schedule(const sequencing_graph& graph,
         });
 
         for (const op_id o : ready) {
-            const op_kind kind = graph.shape(o).kind();
-            const std::size_t y = kind_index(kind);
-            const int limit = limits.of(kind);
+            const std::size_t base =
+                kind_index(graph.shape(o).kind()) *
+                static_cast<std::size_t>(horizon);
+            const int limit = limits.of(graph.shape(o).kind());
             const int lat = latencies[o.value()];
             bool fits = true;
             for (int u = t; u < t + lat; ++u) {
-                if (running[y][static_cast<std::size_t>(u)] + 1 > limit) {
+                if (running[base + static_cast<std::size_t>(u)] + 1 > limit) {
                     fits = false;
                     break;
                 }
@@ -88,12 +65,74 @@ list_schedule_result list_schedule(const sequencing_graph& graph,
             if (!fits) {
                 continue;
             }
-            result.start[o.value()] = t;
+            start[o.value()] = t;
             ++scheduled;
             for (int u = t; u < t + lat; ++u) {
-                ++running[y][static_cast<std::size_t>(u)];
+                ++running[base + static_cast<std::size_t>(u)];
             }
         }
+    }
+}
+
+} // namespace
+
+list_schedule_result list_schedule(const sequencing_graph& graph,
+                                   std::span<const int> latencies,
+                                   const type_limits& limits,
+                                   event_schedule_workspace* scratch,
+                                   sched_engine engine)
+{
+    require(latencies.size() == graph.size(),
+            "latency vector size must equal the number of operations");
+    require(limits.add >= 1 && limits.mul >= 1,
+            "resource limits must be at least 1");
+    for (const int latency : latencies) {
+        require(latency >= 1, "operation latencies must be >= 1");
+    }
+
+    list_schedule_result result;
+    result.start.assign(graph.size(), -1);
+    if (graph.empty()) {
+        return result;
+    }
+
+    event_schedule_workspace local;
+    event_schedule_workspace& ws = scratch ? *scratch : local;
+
+    const std::vector<int> priority =
+        critical_path_priorities(graph, latencies);
+
+    const int horizon = serial_horizon(latencies);
+    // running[y * horizon + t]: type-y operations executing during step t,
+    // in the workspace's flat arena.
+    auto& running = ws.usage;
+    running.assign(2 * static_cast<std::size_t>(horizon), 0);
+
+    if (engine == sched_engine::reference_scan) {
+        reference_scan_pass(graph, latencies, priority, limits, running,
+                            horizon, result.start);
+    } else {
+        const auto kind_index = [](op_kind kind) {
+            return kind == op_kind::add ? std::size_t{0} : std::size_t{1};
+        };
+        const auto try_place = [&](op_id o, int t) {
+            const std::size_t base =
+                kind_index(graph.shape(o).kind()) *
+                static_cast<std::size_t>(horizon);
+            const int limit = limits.of(graph.shape(o).kind());
+            const int lat = latencies[o.value()];
+            for (int u = t; u < t + lat; ++u) {
+                if (running[base + static_cast<std::size_t>(u)] + 1 > limit) {
+                    return false;
+                }
+            }
+            for (int u = t; u < t + lat; ++u) {
+                ++running[base + static_cast<std::size_t>(u)];
+            }
+            return true;
+        };
+        event_schedule(graph, latencies, priority, horizon, result.start, ws,
+                       try_place);
     }
 
     result.length = schedule_length(graph, latencies, result.start);

@@ -12,6 +12,7 @@
 
 #include "dfg/sequencing_graph.hpp"
 #include "model/op_shape.hpp"
+#include "sched/event_engine.hpp"
 
 #include <limits>
 #include <span>
@@ -38,10 +39,13 @@ struct list_schedule_result {
 /// Latency-weighted list scheduling. `latencies[o]` is the latency assumed
 /// for operation o. Deterministic (critical-path priority, op-id
 /// tie-break). Throws `precondition_error` on non-positive limits or
-/// latency/graph size mismatch.
+/// latency/graph size mismatch. `scratch` (optional) reuses the event
+/// engine's buffers across calls; `engine` selects the event-driven engine
+/// or the original full-rescan reference (identical output).
 [[nodiscard]] list_schedule_result list_schedule(
     const sequencing_graph& graph, std::span<const int> latencies,
-    const type_limits& limits);
+    const type_limits& limits, event_schedule_workspace* scratch = nullptr,
+    sched_engine engine = sched_engine::event);
 
 } // namespace mwl
 

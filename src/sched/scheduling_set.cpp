@@ -32,35 +32,6 @@ public:
         return total;
     }
 
-    [[nodiscard]] bool is_subset_of(const bitset64& other) const
-    {
-        for (std::size_t i = 0; i < words_.size(); ++i) {
-            if ((words_[i] & ~other.words_[i]) != 0) {
-                return false;
-            }
-        }
-        return true;
-    }
-
-    /// Number of bits set in (*this & ~mask): how much this set would
-    /// newly cover given already-covered `mask`.
-    [[nodiscard]] std::size_t count_minus(const bitset64& mask) const
-    {
-        std::size_t total = 0;
-        for (std::size_t i = 0; i < words_.size(); ++i) {
-            total += static_cast<std::size_t>(
-                __builtin_popcountll(words_[i] & ~mask.words_[i]));
-        }
-        return total;
-    }
-
-    void or_with(const bitset64& other)
-    {
-        for (std::size_t i = 0; i < words_.size(); ++i) {
-            words_[i] |= other.words_[i];
-        }
-    }
-
     [[nodiscard]] bool all_set() const
     {
         std::size_t remaining = bits_;
@@ -77,40 +48,88 @@ public:
         return true;
     }
 
-    /// Index of the first zero bit, or bits_ if none.
+    /// Index of the first zero bit, or bits_ if none. Word-at-a-time: skip
+    /// saturated words, then count trailing ones of the first open word.
     [[nodiscard]] std::size_t first_unset() const
     {
-        for (std::size_t i = 0; i < bits_; ++i) {
-            if (!test(i)) {
-                return i;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            if (words_[w] == ~std::uint64_t{0}) {
+                continue;
             }
+            const std::size_t i =
+                w * 64 + static_cast<std::size_t>(
+                             __builtin_ctzll(~words_[w]));
+            // Bits past bits_ in the last word are stored as zero, so the
+            // scan can land there; that means every real bit is set.
+            return std::min(i, bits_);
         }
         return bits_;
     }
 
     [[nodiscard]] std::size_t size() const { return bits_; }
+    [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+    [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
+
+    void or_with_words(const std::uint64_t* other)
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            words_[i] |= other[i];
+        }
+    }
 
 private:
     std::size_t bits_;
     std::vector<std::uint64_t> words_;
 };
 
+// -- raw word-span coverage helpers ------------------------------------
+//
+// Candidate coverage rows live in one flat arena (candidate_pool below)
+// instead of per-candidate heap bitsets: building and pairwise-scanning
+// them is the dominant cost of a cover query, and the arena removes every
+// per-candidate allocation while keeping rows contiguous for the
+// domination scan.
+
+bool words_subset(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t w)
+{
+    for (std::size_t i = 0; i < w; ++i) {
+        if ((a[i] & ~b[i]) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::size_t words_count_minus(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t w)
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < w; ++i) {
+        total += static_cast<std::size_t>(__builtin_popcountll(a[i] & ~b[i]));
+    }
+    return total;
+}
+
 struct candidate {
     res_id id;
-    bitset64 coverage;
-    double area;
+    double area = 0.0;
+    std::size_t count = 0;         ///< popcount of the coverage row
+    const std::uint64_t* cov = nullptr; ///< row in the candidate_pool arena
 };
 
 std::vector<std::size_t> greedy_cover(const std::vector<candidate>& cands,
                                       std::size_t universe)
 {
     bitset64 covered(universe);
+    const std::size_t w = covered.word_count();
     std::vector<std::size_t> chosen;
     while (!covered.all_set()) {
         std::size_t best = cands.size();
         std::size_t best_gain = 0;
         for (std::size_t i = 0; i < cands.size(); ++i) {
-            const std::size_t gain = cands[i].coverage.count_minus(covered);
+            const std::size_t gain =
+                words_count_minus(cands[i].cov, covered.words(), w);
             const bool better =
                 gain > best_gain ||
                 (gain == best_gain && gain > 0 && best < cands.size() &&
@@ -122,19 +141,27 @@ std::vector<std::size_t> greedy_cover(const std::vector<candidate>& cands,
         }
         MWL_ASSERT(best < cands.size() && best_gain > 0);
         chosen.push_back(best);
-        covered.or_with(cands[best].coverage);
+        covered.or_with_words(cands[best].cov);
     }
     return chosen;
 }
 
 struct search_state {
     const std::vector<candidate>* cands = nullptr;
-    // covers_of_op[o]: candidate indices covering operation o.
-    std::vector<std::vector<std::size_t>> covers_of_op;
+    // (*covers_of_op)[o]: candidate indices covering operation o. Points
+    // at the caller's reusable workspace when one is supplied.
+    std::vector<std::vector<std::size_t>> covers_local;
+    std::vector<std::vector<std::size_t>>* covers_of_op = &covers_local;
     std::size_t max_set_size = 1;
     std::size_t node_cap = 0;
     std::size_t nodes = 0;
     bool capped = false;
+    // Warm-start prune bound: a cover of this size is known to exist (the
+    // previous iteration's optimum, if it still covers). Used ONLY to
+    // prune, never as a returned solution, so the search still reports its
+    // own first optimal cover in DFS order -- identical to a cold run
+    // whenever the node cap is not hit (see PERF.md).
+    std::size_t known_cover_size = static_cast<std::size_t>(-1);
     std::vector<std::size_t> best;
     std::vector<std::size_t> current;
 };
@@ -155,7 +182,11 @@ void branch(search_state& st, const bitset64& covered)
     const std::size_t uncovered = covered.size() - covered.count();
     const std::size_t lower =
         (uncovered + st.max_set_size - 1) / st.max_set_size;
-    if (st.current.size() + lower >= st.best.size()) {
+    std::size_t prune_limit = st.best.size();
+    if (st.known_cover_size != static_cast<std::size_t>(-1)) {
+        prune_limit = std::min(prune_limit, st.known_cover_size + 1);
+    }
+    if (st.current.size() + lower >= prune_limit) {
         return;
     }
 
@@ -167,16 +198,16 @@ void branch(search_state& st, const bitset64& covered)
         if (covered.test(o)) {
             continue;
         }
-        if (st.covers_of_op[o].size() < pivot_options) {
+        if ((*st.covers_of_op)[o].size() < pivot_options) {
             pivot = o;
-            pivot_options = st.covers_of_op[o].size();
+            pivot_options = (*st.covers_of_op)[o].size();
         }
     }
     MWL_ASSERT(pivot < covered.size());
 
-    for (const std::size_t ci : st.covers_of_op[pivot]) {
+    for (const std::size_t ci : (*st.covers_of_op)[pivot]) {
         bitset64 next = covered;
-        next.or_with((*st.cands)[ci].coverage);
+        next.or_with_words((*st.cands)[ci].cov);
         st.current.push_back(ci);
         branch(st, next);
         st.current.pop_back();
@@ -186,11 +217,25 @@ void branch(search_state& st, const bitset64& covered)
     }
 }
 
-} // namespace
+/// True iff `members` still covers every operation under the current H
+/// edges of `wcg`. O(sum |O(r)|) -- one bitset union, no search.
+bool still_covers(const wordlength_compatibility_graph& wcg,
+                  const std::vector<res_id>& members)
+{
+    const std::size_t n_ops = wcg.graph().size();
+    bitset64 covered(n_ops);
+    for (const res_id r : members) {
+        for (const op_id o : wcg.ops_for(r)) {
+            covered.set(o.value());
+        }
+    }
+    return covered.all_set();
+}
 
 scheduling_set_result
-min_scheduling_set(const wordlength_compatibility_graph& wcg,
-                   std::size_t node_cap)
+min_scheduling_set_impl(const wordlength_compatibility_graph& wcg,
+                        std::size_t node_cap, std::size_t known_cover_size,
+                        scheduling_set_cache* ws)
 {
     const std::size_t n_ops = wcg.graph().size();
     scheduling_set_result result;
@@ -198,20 +243,30 @@ min_scheduling_set(const wordlength_compatibility_graph& wcg,
         return result;
     }
 
-    // Build candidates, dropping resources whose coverage is dominated by
-    // another resource (subset coverage). For equal coverage keep the
-    // smaller-area resource; ties broken on res_id for determinism.
+    // Build candidates in one flat coverage arena, dropping resources
+    // whose coverage is dominated by another resource (subset coverage).
+    // For equal coverage keep the smaller-area resource; ties broken on
+    // res_id for determinism.
+    const std::size_t w = (n_ops + 63) / 64;
+    std::size_t n_cands = 0;
+    for (const res_id r : wcg.all_resources()) {
+        n_cands += wcg.ops_for(r).empty() ? 0 : 1;
+    }
+    std::vector<std::uint64_t> local_pool;
+    std::vector<std::uint64_t>& candidate_pool = ws ? ws->pool_ws : local_pool;
+    candidate_pool.assign(n_cands * w, 0);
     std::vector<candidate> cands;
+    cands.reserve(n_cands);
     for (const res_id r : wcg.all_resources()) {
         const auto ops = wcg.ops_for(r);
         if (ops.empty()) {
             continue;
         }
-        bitset64 cover(n_ops);
+        std::uint64_t* const row = candidate_pool.data() + cands.size() * w;
         for (const op_id o : ops) {
-            cover.set(o.value());
+            row[o.value() / 64] |= std::uint64_t{1} << (o.value() % 64);
         }
-        cands.push_back(candidate{r, std::move(cover), wcg.area(r)});
+        cands.push_back(candidate{r, wcg.area(r), ops.size(), row});
     }
 
     std::vector<bool> dominated(cands.size(), false);
@@ -220,11 +275,11 @@ min_scheduling_set(const wordlength_compatibility_graph& wcg,
             if (i == j || dominated[i] || dominated[j]) {
                 continue;
             }
-            if (!cands[i].coverage.is_subset_of(cands[j].coverage)) {
+            if (cands[i].count > cands[j].count ||
+                !words_subset(cands[i].cov, cands[j].cov, w)) {
                 continue;
             }
-            const bool equal =
-                cands[j].coverage.is_subset_of(cands[i].coverage);
+            const bool equal = cands[i].count == cands[j].count;
             if (!equal) {
                 dominated[i] = true;
             } else if (cands[i].area > cands[j].area ||
@@ -237,7 +292,7 @@ min_scheduling_set(const wordlength_compatibility_graph& wcg,
     std::vector<candidate> kept;
     for (std::size_t i = 0; i < cands.size(); ++i) {
         if (!dominated[i]) {
-            kept.push_back(std::move(cands[i]));
+            kept.push_back(cands[i]);
         }
     }
 
@@ -245,22 +300,28 @@ min_scheduling_set(const wordlength_compatibility_graph& wcg,
     search_state st;
     st.cands = &kept;
     st.node_cap = node_cap;
-    st.covers_of_op.resize(n_ops);
+    st.known_cover_size = known_cover_size;
+    if (ws) {
+        st.covers_of_op = &ws->covers_ws;
+    }
+    st.covers_of_op->resize(
+        std::max(st.covers_of_op->size(), n_ops));
+    for (std::size_t o = 0; o < n_ops; ++o) {
+        (*st.covers_of_op)[o].clear();
+    }
     for (std::size_t ci = 0; ci < kept.size(); ++ci) {
-        st.max_set_size = std::max(st.max_set_size, kept[ci].coverage.count());
-        for (std::size_t o = 0; o < n_ops; ++o) {
-            if (kept[ci].coverage.test(o)) {
-                st.covers_of_op[o].push_back(ci);
-            }
+        st.max_set_size = std::max(st.max_set_size, kept[ci].count);
+        for (const op_id o : wcg.ops_for(kept[ci].id)) {
+            (*st.covers_of_op)[o.value()].push_back(ci);
         }
     }
     for (std::size_t o = 0; o < n_ops; ++o) {
-        MWL_ASSERT(!st.covers_of_op[o].empty());
+        auto& covers = (*st.covers_of_op)[o];
+        MWL_ASSERT(!covers.empty());
         // Try large sets first: finds good covers early, improving pruning.
-        std::sort(st.covers_of_op[o].begin(), st.covers_of_op[o].end(),
+        std::sort(covers.begin(), covers.end(),
                   [&](std::size_t a, std::size_t b) {
-                      return kept[a].coverage.count() >
-                             kept[b].coverage.count();
+                      return kept[a].count > kept[b].count;
                   });
     }
 
@@ -274,6 +335,57 @@ min_scheduling_set(const wordlength_compatibility_graph& wcg,
     }
     std::sort(result.members.begin(), result.members.end());
     return result;
+}
+
+} // namespace
+
+scheduling_set_result
+min_scheduling_set(const wordlength_compatibility_graph& wcg,
+                   std::size_t node_cap)
+{
+    return min_scheduling_set_impl(wcg, node_cap,
+                                   static_cast<std::size_t>(-1), nullptr);
+}
+
+scheduling_set_result
+min_scheduling_set(const wordlength_compatibility_graph& wcg,
+                   scheduling_set_cache& cache, std::size_t node_cap)
+{
+    // A hit requires the same graph instance and node cap too: edge
+    // versions are per-WCG counters, and a result computed under a
+    // different cap may be capped (or proven) differently than asked for.
+    if (cache.valid && cache.owner == &wcg &&
+        cache.edge_version == wcg.edge_version() &&
+        cache.node_cap == node_cap) {
+        return cache.result;
+    }
+
+    // H changed since the cached cover was computed. If the old optimum is
+    // still a cover (refinement can only shrink coverage sets, so it often
+    // is not), its size bounds the new optimum from above and tightens the
+    // branch-and-bound pruning.
+    std::size_t known = static_cast<std::size_t>(-1);
+    if (cache.valid && cache.owner == &wcg &&
+        still_covers(wcg, cache.result.members)) {
+        known = cache.result.members.size();
+    }
+
+    cache.result = min_scheduling_set_impl(wcg, node_cap, known, &cache);
+    if (known != static_cast<std::size_t>(-1) &&
+        !cache.result.proven_minimum) {
+        // The warm-pruned search hit the node cap. A capped warm search
+        // implies the cold search caps too (warm visits a subset of its
+        // nodes), but the two would spend the budget differently and stop
+        // on different covers; rerun cold so the cached path returns
+        // exactly what the cold overload would.
+        cache.result = min_scheduling_set_impl(
+            wcg, node_cap, static_cast<std::size_t>(-1), &cache);
+    }
+    cache.owner = &wcg;
+    cache.edge_version = wcg.edge_version();
+    cache.node_cap = node_cap;
+    cache.valid = true;
+    return cache.result;
 }
 
 } // namespace mwl

@@ -16,6 +16,7 @@
 #include "support/ids.hpp"
 #include "wcg/wcg.hpp"
 
+#include <cstdint>
 #include <vector>
 
 namespace mwl {
@@ -28,10 +29,44 @@ struct scheduling_set_result {
     bool proven_minimum = true;
 };
 
+/// Memo for min_scheduling_set across DPAlloc iterations, keyed on the WCG
+/// edge version. Two states:
+///  * same edge version as the cached entry -> the H edges are identical,
+///    so the cached cover is returned without any search (this is every
+///    capacity-escalation iteration, and every repeated query within one
+///    iteration);
+///  * different version -> the previous optimum warm-starts the branch and
+///    bound: if it still covers all operations, |previous| is an admissible
+///    upper bound that tightens pruning without changing which cover the
+///    search returns (see PERF.md, "warm start is prune-only"). If the
+///    warm search still hits the node cap it is rerun cold, so a capped
+///    query also matches the cold overload; the only possible divergence
+///    is a warm search that completes where the cold one would have
+///    capped -- the cached path then returns a proven minimum instead of
+///    the cold path's capped fallback.
+struct scheduling_set_cache {
+    const wordlength_compatibility_graph* owner = nullptr; ///< source WCG
+    std::uint64_t edge_version = 0;
+    std::size_t node_cap = 0; ///< cap the cached result was computed under
+    bool valid = false;
+    scheduling_set_result result;
+    // Reusable search buffers (pure scratch, reset per query): the
+    // candidate coverage arena and the per-operation cover lists.
+    std::vector<std::uint64_t> pool_ws;
+    std::vector<std::vector<std::size_t>> covers_ws;
+};
+
 /// Compute the scheduling set over the current H edges of `wcg`.
 /// `node_cap` bounds the branch-and-bound search tree size.
 [[nodiscard]] scheduling_set_result
 min_scheduling_set(const wordlength_compatibility_graph& wcg,
+                   std::size_t node_cap = 200000);
+
+/// Memoized / warm-started variant; updates `cache` in place. Returns the
+/// same cover as the cold overload whenever the node cap is not hit.
+[[nodiscard]] scheduling_set_result
+min_scheduling_set(const wordlength_compatibility_graph& wcg,
+                   scheduling_set_cache& cache,
                    std::size_t node_cap = 200000);
 
 } // namespace mwl

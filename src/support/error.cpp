@@ -21,6 +21,16 @@ void require_feasible(bool condition, const std::string& message)
 
 namespace detail {
 
+void throw_precondition(const char* message)
+{
+    throw precondition_error(message);
+}
+
+void throw_infeasible(const char* message)
+{
+    throw infeasible_error(message);
+}
+
 void assert_fail(const char* expr, const char* file, int line)
 {
     std::fprintf(stderr, "mwl internal invariant violated: %s (%s:%d)\n",

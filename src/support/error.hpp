@@ -35,10 +35,30 @@ public:
     using error::error;
 };
 
+namespace detail {
+[[noreturn]] void throw_precondition(const char* message);
+[[noreturn]] void throw_infeasible(const char* message);
+} // namespace detail
+
 /// Throw `precondition_error` with `message` unless `condition` holds.
+/// The C-string overload is the hot one -- these checks guard accessors
+/// (wcg::latency et al.) called millions of times per allocation, so it is
+/// inline, allocates nothing, and moves the throw out of line.
+inline void require(bool condition, const char* message)
+{
+    if (!condition) [[unlikely]] {
+        detail::throw_precondition(message);
+    }
+}
 void require(bool condition, const std::string& message);
 
 /// Throw `infeasible_error` with `message` unless `condition` holds.
+inline void require_feasible(bool condition, const char* message)
+{
+    if (!condition) [[unlikely]] {
+        detail::throw_infeasible(message);
+    }
+}
 void require_feasible(bool condition, const std::string& message);
 
 namespace detail {

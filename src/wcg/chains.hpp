@@ -5,8 +5,11 @@
 // subgraph of G'(O, C) induced by any O(r) is a comparability graph whose
 // cliques are exactly chains of pairwise non-overlapping, ordered
 // operations (Golumbic [11]). Maximum cliques are therefore longest chains
-// and are found by a simple DP instead of general clique search -- the
-// linear-time observation the paper leans on in §2.3.
+// and are found by an O(k log k) sorted sweep instead of general clique
+// search -- the linear-time observation the paper leans on in §2.3. The
+// sweep reproduces, item for item, the chain the original O(k^2) DP
+// returned (property-tested against the DP oracle in
+// tests/chains_property_test.cpp).
 
 #ifndef MWL_WCG_CHAINS_HPP
 #define MWL_WCG_CHAINS_HPP
@@ -33,14 +36,34 @@ struct timed_op {
     return a.finish() <= b.start;
 }
 
+/// Reusable buffers for longest_chain, so a caller invoking it in a loop
+/// (bind/bind_select.cpp does, once per Chvátal round per dirty resource)
+/// performs no per-call allocations beyond the returned chain.
+struct chain_scratch {
+    std::vector<timed_op> sorted;
+    std::vector<std::size_t> by_finish;
+    std::vector<std::size_t> dp;
+    std::vector<std::size_t> back;
+};
+
 /// Maximum-cardinality chain among `items` under `precedes`. Deterministic:
 /// ties are broken towards earlier start, then smaller op id. Returns the
-/// chosen items in chain (time) order.
+/// chosen items in chain (time) order. O(k log k).
 [[nodiscard]] std::vector<timed_op> longest_chain(
     std::span<const timed_op> items);
 
+/// As above, reusing `scratch`'s buffers.
+[[nodiscard]] std::vector<timed_op> longest_chain(
+    std::span<const timed_op> items, chain_scratch& scratch);
+
+/// As above, writing the chain into `out` (cleared first) so a looping
+/// caller reuses its capacity. This is the zero-allocation form.
+void longest_chain_into(std::span<const timed_op> items,
+                        chain_scratch& scratch, std::vector<timed_op>& out);
+
 /// True iff every pair of `items` is ordered by `precedes` one way or the
-/// other, i.e. the set is a clique of G'(O, C).
+/// other, i.e. the set is a clique of G'(O, C). O(k log k):
+/// sort by start and check adjacent pairs (precedes is transitive).
 [[nodiscard]] bool is_chain(std::span<const timed_op> items);
 
 } // namespace mwl

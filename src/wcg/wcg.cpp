@@ -35,6 +35,12 @@ wordlength_compatibility_graph::wordlength_compatibility_graph(
         // never empty at construction.
         MWL_ASSERT(!h_of_op_[o.value()].empty());
     }
+
+    lat_upper_.assign(graph.size(), 0);
+    lat_lower_.assign(graph.size(), 0);
+    for (const op_id o : graph.all_ops()) {
+        recompute_bounds(o);
+    }
 }
 
 const op_shape& wordlength_compatibility_graph::resource(res_id r) const
@@ -103,44 +109,36 @@ void wordlength_compatibility_graph::delete_edge(op_id o, res_id r)
     MWL_ASSERT(jt != col.end() && *jt == o);
     col.erase(jt);
     --edge_count_;
+    ++version_;
+
+    // The cached bounds only move when an extremal-latency edge went away.
+    const int lat = res_latency_[r.value()];
+    if (lat == lat_upper_[o.value()] || lat == lat_lower_[o.value()]) {
+        recompute_bounds(o);
+    }
 }
 
 int wordlength_compatibility_graph::latency_upper_bound(op_id o) const
 {
     check_op(o);
-    int bound = 0;
-    for (const res_id r : h_of_op_[o.value()]) {
-        bound = std::max(bound, res_latency_[r.value()]);
-    }
-    MWL_ASSERT(bound >= 1);
-    return bound;
+    return lat_upper_[o.value()];
 }
 
 int wordlength_compatibility_graph::latency_lower_bound(op_id o) const
 {
     check_op(o);
-    int bound = 0;
-    for (const res_id r : h_of_op_[o.value()]) {
-        const int lat = res_latency_[r.value()];
-        bound = (bound == 0) ? lat : std::min(bound, lat);
-    }
-    MWL_ASSERT(bound >= 1);
-    return bound;
+    return lat_lower_[o.value()];
 }
 
 std::vector<int> wordlength_compatibility_graph::latency_upper_bounds() const
 {
-    std::vector<int> bounds;
-    bounds.reserve(graph_->size());
-    for (const op_id o : graph_->all_ops()) {
-        bounds.push_back(latency_upper_bound(o));
-    }
-    return bounds;
+    return lat_upper_;
 }
 
 bool wordlength_compatibility_graph::refinable(op_id o) const
 {
-    return latency_lower_bound(o) < latency_upper_bound(o);
+    check_op(o);
+    return lat_lower_[o.value()] < lat_upper_[o.value()];
 }
 
 int wordlength_compatibility_graph::refine_op(op_id o)
@@ -160,6 +158,20 @@ int wordlength_compatibility_graph::refine_op(op_id o)
         delete_edge(o, r);
     }
     return static_cast<int>(doomed.size());
+}
+
+void wordlength_compatibility_graph::recompute_bounds(op_id o)
+{
+    int upper = 0;
+    int lower = 0;
+    for (const res_id r : h_of_op_[o.value()]) {
+        const int lat = res_latency_[r.value()];
+        upper = std::max(upper, lat);
+        lower = (lower == 0) ? lat : std::min(lower, lat);
+    }
+    MWL_ASSERT(upper >= 1 && lower >= 1);
+    lat_upper_[o.value()] = upper;
+    lat_lower_[o.value()] = lower;
 }
 
 void wordlength_compatibility_graph::check_op(op_id o) const

@@ -17,6 +17,7 @@
 #include "model/hardware_model.hpp"
 #include "support/ids.hpp"
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -53,11 +54,20 @@ public:
     [[nodiscard]] std::span<const op_id> ops_for(res_id r) const;
     [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
 
+    /// Monotone counter bumped by every successful `delete_edge` (and hence
+    /// by `refine_op`). Downstream caches key on it to detect staleness:
+    /// equal versions guarantee an identical H edge set.
+    [[nodiscard]] std::uint64_t edge_version() const { return version_; }
+
     /// Delete one H edge. Throws `precondition_error` if the edge is absent
     /// or if deleting it would leave o with no compatible resource.
     void delete_edge(op_id o, res_id r);
 
     // -- latency bounds (paper: L_o and the native lower bound) ----------
+    //
+    // Both bounds and refinability are cached per operation and maintained
+    // incrementally by delete_edge / refine_op, so every query is O(1); a
+    // deletion only rescans H(o) when it removed an extremal-latency edge.
 
     /// L_o = max latency over H(o).
     [[nodiscard]] int latency_upper_bound(op_id o) const;
@@ -78,6 +88,7 @@ public:
 private:
     void check_op(op_id o) const;
     void check_res(res_id r) const;
+    void recompute_bounds(op_id o);
 
     const sequencing_graph* graph_;
     const hardware_model* model_;
@@ -86,7 +97,10 @@ private:
     std::vector<double> res_area_;
     std::vector<std::vector<res_id>> h_of_op_;  // H(o), sorted
     std::vector<std::vector<op_id>> h_of_res_;  // O(r), sorted
+    std::vector<int> lat_upper_;                // cached max latency of H(o)
+    std::vector<int> lat_lower_;                // cached min latency of H(o)
     std::size_t edge_count_ = 0;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace mwl
