@@ -49,6 +49,11 @@ struct dpalloc_options {
     /// Safety bound on refinement iterations; never reached in practice
     /// (each iteration deletes an H edge or raises capacity).
     std::size_t max_iterations = 1000000;
+
+    /// Equal options produce identical results on identical inputs; the
+    /// batch engine's cache key (src/engine/batch_engine.hpp) relies on it.
+    friend bool operator==(const dpalloc_options&,
+                           const dpalloc_options&) = default;
 };
 
 struct dpalloc_stats {

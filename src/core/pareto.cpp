@@ -3,9 +3,7 @@
 #include "dfg/analysis.hpp"
 #include "support/error.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <limits>
 
 namespace mwl {
 
@@ -24,25 +22,16 @@ std::vector<pareto_point> pareto_sweep(const sequencing_graph& graph,
         static_cast<double>(lambda_min) * (1.0 + options.max_slack)));
 
     std::vector<pareto_point> frontier;
-    double best_area = std::numeric_limits<double>::infinity();
     int stale = 0;
     for (int lambda = lambda_min; lambda <= lambda_max; ++lambda) {
         dpalloc_result r = dpalloc(graph, model, lambda, options.allocator);
-        if (r.path.total_area < best_area - 1e-9) {
+        if (frontier_admits(frontier, r.path.total_area)) {
             pareto_point point;
             point.lambda = lambda;
             point.latency = r.path.latency;
             point.area = r.path.total_area;
             point.path = std::move(r.path);
-            // Dominance also covers achieved latency: a new point with the
-            // same achieved latency but lower area replaces its
-            // predecessor.
-            while (!frontier.empty() &&
-                   frontier.back().latency >= point.latency) {
-                frontier.pop_back();
-            }
-            frontier.push_back(std::move(point));
-            best_area = frontier.back().area;
+            frontier_insert(frontier, std::move(point));
             stale = 0;
         } else if (++stale >= options.patience) {
             break;
@@ -50,6 +39,34 @@ std::vector<pareto_point> pareto_sweep(const sequencing_graph& graph,
     }
     MWL_ASSERT(!frontier.empty());
     return frontier;
+}
+
+bool frontier_admits(const std::vector<pareto_point>& frontier, double area)
+{
+    // The frontier's areas descend, so the back holds the best area seen.
+    return frontier.empty() ||
+           area < frontier.back().area - pareto_area_epsilon;
+}
+
+void frontier_insert(std::vector<pareto_point>& frontier, pareto_point point)
+{
+    MWL_ASSERT(frontier_admits(frontier, point.area));
+    // Dominance also covers achieved latency: a new point with the same
+    // achieved latency but lower area replaces its predecessor.
+    while (!frontier.empty() && frontier.back().latency >= point.latency) {
+        frontier.pop_back();
+    }
+    frontier.push_back(std::move(point));
+}
+
+void merge_frontiers(std::vector<pareto_point>& dst,
+                     std::vector<pareto_point> src)
+{
+    for (pareto_point& point : src) {
+        if (frontier_admits(dst, point.area)) {
+            frontier_insert(dst, std::move(point));
+        }
+    }
 }
 
 } // namespace mwl

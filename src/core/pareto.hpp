@@ -38,6 +38,31 @@ struct pareto_options {
     const sequencing_graph& graph, const hardware_model& model,
     const pareto_options& options = {});
 
+/// Absolute tolerance under which two areas are considered equal by the
+/// dominance rules below (matches the sweep's improvement threshold).
+inline constexpr double pareto_area_epsilon = 1e-9;
+
+/// True iff a design of this area would extend `frontier`: strictly below
+/// the frontier's current best (= last) area. An empty frontier admits
+/// everything.
+[[nodiscard]] bool frontier_admits(const std::vector<pareto_point>& frontier,
+                                   double area);
+
+/// Append an admitted point, first popping predecessors it dominates --
+/// every tail point with `latency >= point.latency` (a new point with the
+/// same achieved latency but lower area replaces its predecessor).
+/// Precondition: `frontier_admits(frontier, point.area)`.
+void frontier_insert(std::vector<pareto_point>& frontier, pareto_point point);
+
+/// Dominance-merge `src` (a frontier for a lambda range *after* dst's, i.e.
+/// ascending lambda across the concatenation) into `dst`: src points that
+/// do not beat dst's best area are dropped, the rest are inserted with the
+/// same replacement rule as the serial sweep. Merging per-worker frontiers
+/// chunk by chunk reproduces the serial frontier exactly (see
+/// src/engine/parallel_pareto.cpp for the argument).
+void merge_frontiers(std::vector<pareto_point>& dst,
+                     std::vector<pareto_point> src);
+
 } // namespace mwl
 
 #endif // MWL_CORE_PARETO_HPP

@@ -1,0 +1,161 @@
+#include "engine/batch_engine.hpp"
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+#include <chrono>
+
+namespace mwl {
+
+std::size_t batch_engine::job_key_hash::operator()(const job_key& key) const
+{
+    fnv1a_hasher h;
+    h.mix(static_cast<std::int64_t>(key.graph_fp));
+    h.mix(static_cast<std::int64_t>(key.model_fp));
+    h.mix(static_cast<std::int64_t>(key.lambda));
+    h.mix(static_cast<std::int64_t>(key.options.enable_growth));
+    h.mix(static_cast<std::int64_t>(key.options.reassign_cheapest));
+    h.mix(static_cast<std::int64_t>(key.options.classic_constraint));
+    h.mix(static_cast<std::int64_t>(key.options.incremental));
+    h.mix(static_cast<std::int64_t>(key.options.initial_capacity));
+    h.mix(static_cast<std::int64_t>(key.options.max_iterations));
+    return h.digest();
+}
+
+batch_engine::batch_engine(const batch_options& options)
+    : owned_pool_(std::make_unique<thread_pool>(options.jobs)),
+      pool_(owned_pool_.get()),
+      cache_(options.cache_capacity)
+{
+}
+
+batch_engine::batch_engine(thread_pool& pool, const batch_options& options)
+    : pool_(&pool), cache_(options.cache_capacity)
+{
+}
+
+batch_engine::~batch_engine()
+{
+    static_cast<void>(drain());
+}
+
+std::size_t batch_engine::submit(const sequencing_graph& graph,
+                                 const hardware_model& model, int lambda,
+                                 const dpalloc_options& options)
+{
+    const job_key key{graph_fingerprint(graph), model.fingerprint(), lambda,
+                      options};
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t index = entries_.size();
+    outcome& entry = entries_.emplace_back();
+    entry.key = job_key_hash{}(key);
+    ++stats_.submitted;
+
+    if (const auto* cached = cache_.get(key)) {
+        entry.result = *cached;
+        entry.from_cache = true;
+        ++stats_.cache_hits;
+        return index;
+    }
+    const auto [it, fresh] = inflight_.try_emplace(key);
+    it->second.push_back(index);
+    if (!fresh) {
+        entry.coalesced = true;
+        ++stats_.coalesced;
+        return index;
+    }
+    lock.unlock();
+    // The future is intentionally dropped: execute() reports through
+    // resolve() and never throws out of the task.
+    static_cast<void>(pool_->submit(
+        [this, key, &graph, &model] { execute(key, graph, model); }));
+    return index;
+}
+
+void batch_engine::execute(const job_key& key, const sequencing_graph& graph,
+                           const hardware_model& model)
+{
+    std::shared_ptr<const dpalloc_result> result;
+    std::string error;
+    try {
+        result = std::make_shared<const dpalloc_result>(
+            dpalloc(graph, model, key.lambda, key.options));
+    } catch (const std::exception& e) {
+        error = e.what();
+        if (error.empty()) {
+            error = "allocation failed";
+        }
+    }
+    resolve(key, std::move(result), std::move(error));
+}
+
+void batch_engine::resolve(const job_key& key,
+                           std::shared_ptr<const dpalloc_result> result,
+                           std::string error)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.executed;
+    if (!result) {
+        ++stats_.errors;
+    }
+    const auto it = inflight_.find(key);
+    MWL_ASSERT(it != inflight_.end());
+    for (const std::size_t index : it->second) {
+        entries_[index].result = result;
+        entries_[index].error = error;
+    }
+    inflight_.erase(it);
+    if (result) {
+        // Errors are not cached: they are cheap to rediscover and a
+        // bounded cache slot is better spent on a datapath.
+        cache_.put(key, std::move(result));
+    }
+    // Notify while still holding the mutex: the moment it is released, a
+    // drain() that sees the batch complete may return and let the engine
+    // be destroyed, so an unlocked notify could touch a dead cv.
+    idle_cv_.notify_all();
+}
+
+std::vector<batch_engine::outcome> batch_engine::drain()
+{
+    using namespace std::chrono_literals;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (inflight_.empty()) {
+                std::vector<outcome> done;
+                done.swap(entries_);
+                return done;
+            }
+        }
+        if (!pool_->run_one()) {
+            // Every remaining job is running on a worker; wait for a
+            // resolve() instead of spinning.
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!inflight_.empty()) {
+                idle_cv_.wait_for(lock, 200us);
+            }
+        }
+    }
+}
+
+std::size_t batch_engine::pending() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const outcome& entry : entries_) {
+        if (!entry.result && entry.error.empty()) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+batch_stats batch_engine::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace mwl

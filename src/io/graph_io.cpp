@@ -1,5 +1,7 @@
 #include "io/graph_io.hpp"
 
+#include "support/hash.hpp"
+
 #include <map>
 #include <sstream>
 
@@ -122,6 +124,29 @@ std::string write_graph(const sequencing_graph& graph)
         }
     }
     return out.str();
+}
+
+std::uint64_t graph_fingerprint(const sequencing_graph& graph)
+{
+    // Predecessors are hashed in stored order, not sorted: equal
+    // fingerprints then guarantee the allocator sees byte-identical
+    // adjacency (any tie-break that scans edges behaves the same), which
+    // is the property the engine's cache correctness rests on.
+    fnv1a_hasher h;
+    h.mix("mwl-graph-v1");
+    h.mix(static_cast<std::int64_t>(graph.size()));
+    for (const op_id o : graph.all_ops()) {
+        const op_shape& s = graph.shape(o);
+        h.mix(static_cast<std::int64_t>(s.kind()));
+        h.mix(static_cast<std::int64_t>(s.width_a()));
+        h.mix(static_cast<std::int64_t>(s.width_b()));
+        const auto preds = graph.predecessors(o);
+        h.mix(static_cast<std::int64_t>(preds.size()));
+        for (const op_id p : preds) {
+            h.mix(static_cast<std::int64_t>(p.value()));
+        }
+    }
+    return h.digest();
 }
 
 } // namespace mwl

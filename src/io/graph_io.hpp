@@ -16,6 +16,7 @@
 #include "dfg/sequencing_graph.hpp"
 #include "support/error.hpp"
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -34,6 +35,14 @@ public:
 /// Serialise a graph; `parse_graph_string(write_graph(g))` reproduces `g`.
 /// Unnamed operations are given stable names ("o<N>").
 [[nodiscard]] std::string write_graph(const sequencing_graph& graph);
+
+/// Stable content hash of the allocation-relevant structure: operation
+/// shapes (in id order) and dependency edges (in stored predecessor
+/// order). Equal fingerprints imply graphs the allocator cannot tell
+/// apart, so the batch engine (src/engine/) may serve one's cached result
+/// for the other. Operation *names* are deliberately excluded -- they
+/// never reach the allocator -- so re-labelled copies of a graph dedup.
+[[nodiscard]] std::uint64_t graph_fingerprint(const sequencing_graph& graph);
 
 } // namespace mwl
 

@@ -1,8 +1,25 @@
 #include "model/hardware_model.hpp"
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
+
+#include <atomic>
 
 namespace mwl {
+
+hardware_model::hardware_model()
+{
+    static std::atomic<std::uint64_t> next_serial{1};
+    serial_ = next_serial.fetch_add(1);
+}
+
+std::uint64_t hardware_model::fingerprint() const
+{
+    fnv1a_hasher h;
+    h.mix("model:identity");
+    h.mix(static_cast<std::int64_t>(serial_));
+    return h.digest();
+}
 
 sonic_model::sonic_model(int adder_latency, int mul_bits_per_cycle)
     : adder_latency_(adder_latency), mul_bits_per_cycle_(mul_bits_per_cycle)
@@ -41,6 +58,15 @@ double sonic_model::area(const op_shape& shape) const
     return 1.0;
 }
 
+std::uint64_t sonic_model::fingerprint() const
+{
+    fnv1a_hasher h;
+    h.mix("model:sonic");
+    h.mix(static_cast<std::int64_t>(adder_latency_));
+    h.mix(static_cast<std::int64_t>(mul_bits_per_cycle_));
+    return h.digest();
+}
+
 uniform_latency_model::uniform_latency_model(int latency) : latency_(latency)
 {
     require(latency >= 1, "uniform latency must be >= 1 cycle");
@@ -59,6 +85,14 @@ double uniform_latency_model::area(const op_shape& shape) const
     }
     return static_cast<double>(shape.width_a()) *
            static_cast<double>(shape.width_b());
+}
+
+std::uint64_t uniform_latency_model::fingerprint() const
+{
+    fnv1a_hasher h;
+    h.mix("model:uniform-latency");
+    h.mix(static_cast<std::int64_t>(latency_));
+    return h.digest();
 }
 
 } // namespace mwl

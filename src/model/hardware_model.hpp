@@ -16,6 +16,8 @@
 
 #include "model/op_shape.hpp"
 
+#include <cstdint>
+
 namespace mwl {
 
 /// Abstract latency/area model. A shape serves both as "operation executed
@@ -25,7 +27,7 @@ class hardware_model {
 public:
     virtual ~hardware_model() = default;
 
-    hardware_model() = default;
+    hardware_model();
     hardware_model(const hardware_model&) = delete;
     hardware_model& operator=(const hardware_model&) = delete;
 
@@ -34,6 +36,20 @@ public:
 
     /// Area in model units of a resource of shape `shape`; always > 0.
     [[nodiscard]] virtual double area(const op_shape& shape) const = 0;
+
+    /// Stable content fingerprint used by the batch engine (src/engine/) to
+    /// key its result cache: equal fingerprints MUST imply identical
+    /// latency() and area() on every shape. The default hashes a
+    /// never-reused per-object serial number (not the address, which a
+    /// later allocation could recycle while the cache still holds the old
+    /// model's results) -- always sound, never shared across instances --
+    /// so custom models are cache-correct without writing anything;
+    /// override it (as the built-in models do) to let equal-parameter
+    /// instances share cached results across runs of a service.
+    [[nodiscard]] virtual std::uint64_t fingerprint() const;
+
+private:
+    std::uint64_t serial_; ///< process-unique, assigned at construction
 };
 
 /// SONIC-derived model used throughout the paper's evaluation.
@@ -45,6 +61,7 @@ public:
 
     [[nodiscard]] int latency(const op_shape& shape) const override;
     [[nodiscard]] double area(const op_shape& shape) const override;
+    [[nodiscard]] std::uint64_t fingerprint() const override;
 
 private:
     int adder_latency_;
@@ -60,6 +77,7 @@ public:
 
     [[nodiscard]] int latency(const op_shape& shape) const override;
     [[nodiscard]] double area(const op_shape& shape) const override;
+    [[nodiscard]] std::uint64_t fingerprint() const override;
 
 private:
     int latency_;

@@ -1,0 +1,66 @@
+// Content hashing for job deduplication and result caching.
+//
+// The batch engine identifies an allocation job by a fingerprint of its
+// inputs (graph structure, hardware model, lambda, options). Fingerprints
+// must be stable across runs and platforms -- they key the result cache and
+// appear in tool output -- so this is a fixed algorithm (64-bit FNV-1a over
+// an explicit field serialisation), not std::hash.
+
+#ifndef MWL_SUPPORT_HASH_HPP
+#define MWL_SUPPORT_HASH_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace mwl {
+
+/// Streaming 64-bit FNV-1a. Feed fields with `mix`; equal sequences of
+/// mixed values produce equal digests on every platform.
+class fnv1a_hasher {
+public:
+    static constexpr std::uint64_t offset_basis = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t prime = 0x100000001b3ULL;
+
+    constexpr void mix_byte(unsigned char b)
+    {
+        state_ = (state_ ^ b) * prime;
+    }
+
+    /// Mix an integral value as 8 little-endian bytes (sign-extended), so
+    /// the digest does not depend on the host's int width or endianness.
+    constexpr void mix(std::int64_t value)
+    {
+        auto u = static_cast<std::uint64_t>(value);
+        for (int i = 0; i < 8; ++i) {
+            mix_byte(static_cast<unsigned char>(u & 0xff));
+            u >>= 8;
+        }
+    }
+
+    void mix(std::string_view text)
+    {
+        mix(static_cast<std::int64_t>(text.size()));
+        for (const char c : text) {
+            mix_byte(static_cast<unsigned char>(c));
+        }
+    }
+
+    /// Doubles in the models are exact small values (areas, latencies);
+    /// hash the bit pattern, which is identical wherever the value is.
+    void mix(double value)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        __builtin_memcpy(&bits, &value, sizeof(bits));
+        mix(static_cast<std::int64_t>(bits));
+    }
+
+    [[nodiscard]] constexpr std::uint64_t digest() const { return state_; }
+
+private:
+    std::uint64_t state_ = offset_basis;
+};
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_HASH_HPP

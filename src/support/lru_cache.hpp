@@ -1,0 +1,71 @@
+// Bounded least-recently-used cache.
+//
+// The batch engine keeps completed allocation results keyed on the job
+// fingerprint; the bound keeps a long-running service's memory flat while a
+// Pareto sweep over a corpus still hits on every repeated (graph, lambda)
+// pair. Not internally synchronised -- the engine serialises access under
+// its own mutex.
+
+#ifndef MWL_SUPPORT_LRU_CACHE_HPP
+#define MWL_SUPPORT_LRU_CACHE_HPP
+
+#include "support/error.hpp"
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace mwl {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class lru_cache {
+public:
+    explicit lru_cache(std::size_t capacity) : capacity_(capacity)
+    {
+        require(capacity >= 1, "lru_cache capacity must be >= 1");
+    }
+
+    /// Pointer to the cached value (marked most-recently-used), or nullptr.
+    /// The pointer stays valid until the entry is evicted or replaced.
+    [[nodiscard]] const Value* get(const Key& key)
+    {
+        const auto it = index_.find(key);
+        if (it == index_.end()) {
+            return nullptr;
+        }
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->second;
+    }
+
+    /// Insert or overwrite; evicts the least-recently-used entry when full.
+    void put(const Key& key, Value value)
+    {
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        if (order_.size() == capacity_) {
+            index_.erase(order_.back().first);
+            order_.pop_back();
+        }
+        order_.emplace_front(key, std::move(value));
+        index_[key] = order_.begin();
+    }
+
+    [[nodiscard]] std::size_t size() const { return order_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    using entry = std::pair<Key, Value>;
+
+    std::size_t capacity_;
+    std::list<entry> order_; ///< front = most recently used
+    std::unordered_map<Key, typename std::list<entry>::iterator, Hash> index_;
+};
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_LRU_CACHE_HPP

@@ -1,0 +1,137 @@
+// Work-stealing thread pool.
+//
+// The execution substrate of the batch engine (src/engine/): a fixed set of
+// workers, each owning a deque of tasks. A worker pops its own deque LIFO
+// (locality: freshly spawned subtasks run first) and steals FIFO from the
+// other workers when its own deque runs dry (oldest tasks first, the ones
+// most likely to fan out further). External submissions are distributed
+// round-robin so a burst of jobs lands spread across workers.
+//
+// Two properties the allocation engine relies on:
+//
+//  * Deterministic result ordering. `submit` returns a future and
+//    `task_group` keeps its futures in `run` order, so results are always
+//    *collected* in submission order no matter which worker ran what when.
+//    Tasks that write results do so into caller-preallocated slots, never
+//    into shared accumulators.
+//
+//  * Help-while-waiting. `task_group::wait` executes pending pool tasks
+//    while it blocks, so a task may submit subtasks and wait for them on
+//    any pool size (including 1) without deadlock -- this is what lets a
+//    per-graph sweep task fan out per-lambda subtasks on the same pool.
+//
+// Exceptions thrown by a task travel through its future; `task_group::wait`
+// rethrows the first one after every task in the group has finished.
+
+#ifndef MWL_SUPPORT_THREAD_POOL_HPP
+#define MWL_SUPPORT_THREAD_POOL_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mwl {
+
+class thread_pool {
+public:
+    /// Start `threads` workers; 0 picks the hardware concurrency (>= 1).
+    explicit thread_pool(std::size_t threads = 0);
+
+    /// Drains every queued task (fulfilling all futures), then joins.
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    /// Schedule `f()`; the returned future carries its value or exception.
+    template <typename F>
+    auto submit(F f) -> std::future<std::invoke_result_t<F&>>
+    {
+        using R = std::invoke_result_t<F&>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+        std::future<R> future = task->get_future();
+        post([task] { (*task)(); });
+        return future;
+    }
+
+    /// Execute one pending task on the calling thread, stealing from any
+    /// worker queue. Returns false when every queue is empty (tasks may
+    /// still be *running* on workers). The building block of helping waits.
+    bool run_one();
+
+private:
+    struct queue {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void post(std::function<void()> task);
+    bool try_acquire(std::size_t home, std::function<void()>& out);
+
+    void worker_loop(std::size_t self);
+
+    std::vector<std::unique_ptr<queue>> queues_; ///< one per worker
+    std::vector<std::thread> workers_;
+
+    // Sleep/wake protocol: `epoch_` is bumped under `sleep_mutex_` on every
+    // post, and idle workers wait for it to move. A worker re-reads the
+    // epoch after locking, so a post between its last empty scan and the
+    // wait cannot be missed.
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::uint64_t epoch_ = 0;
+    bool stop_ = false;
+
+    std::size_t next_queue_ = 0; ///< round-robin cursor, under sleep_mutex_
+};
+
+/// A set of related tasks on one pool, awaited together.
+class task_group {
+public:
+    explicit task_group(thread_pool& pool) : pool_(pool) {}
+
+    /// `task_group` must be waited before destruction (wait() clears it).
+    ~task_group() { wait_nothrow(); }
+
+    task_group(const task_group&) = delete;
+    task_group& operator=(const task_group&) = delete;
+
+    /// Schedule `f()` (must return void) as part of this group.
+    template <typename F>
+    void run(F f)
+    {
+        static_assert(std::is_void_v<std::invoke_result_t<F&>>,
+                      "group tasks return their results through "
+                      "caller-preallocated slots, not return values");
+        futures_.push_back(pool_.submit(std::move(f)));
+    }
+
+    /// Block until every task in the group has finished, executing pending
+    /// pool tasks while waiting. Rethrows the first exception thrown by a
+    /// task (in `run` order); the remaining exceptions are discarded, but
+    /// every task is complete when this returns.
+    void wait();
+
+    [[nodiscard]] std::size_t pending() const { return futures_.size(); }
+
+private:
+    void wait_nothrow() noexcept;
+
+    thread_pool& pool_;
+    std::vector<std::future<void>> futures_;
+};
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_THREAD_POOL_HPP

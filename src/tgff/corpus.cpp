@@ -4,6 +4,7 @@
 #include "support/error.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace mwl {
 
@@ -33,6 +34,55 @@ int relaxed_lambda(int lambda_min, double slack)
     require(slack >= 0.0, "slack must be non-negative");
     return static_cast<int>(
         std::ceil(static_cast<double>(lambda_min) * (1.0 + slack)));
+}
+
+corpus_spec corpus_spec::parse(const std::vector<std::string>& tokens)
+{
+    corpus_spec spec;
+    for (const std::string& token : tokens) {
+        const std::size_t eq = token.find('=');
+        require(eq != std::string::npos && eq > 0 && eq + 1 < token.size(),
+                "corpus spec tokens must look like key=value, got '" + token +
+                    "'");
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        // stoul/stoull wrap negatives silently ("-1" -> 1.8e19), which
+        // would sail past the >= 1 checks below; reject the sign up front.
+        require(value[0] != '-',
+                "corpus spec value must be non-negative in '" + token + "'");
+        try {
+            if (key == "ops") {
+                spec.n_ops = std::stoul(value);
+            } else if (key == "count") {
+                spec.count = std::stoul(value);
+            } else if (key == "seed") {
+                spec.seed = std::stoull(value);
+            } else if (key == "mul-fraction") {
+                spec.prototype.mul_fraction = std::stod(value);
+            } else if (key == "min-width") {
+                spec.prototype.min_width = std::stoi(value);
+            } else if (key == "max-width") {
+                spec.prototype.max_width = std::stoi(value);
+            } else {
+                require(false, "unknown corpus spec key '" + key + "'");
+            }
+        } catch (const std::invalid_argument&) {
+            require(false, "bad corpus spec value in '" + token + "'");
+        } catch (const std::out_of_range&) {
+            require(false, "corpus spec value out of range in '" + token +
+                               "'");
+        }
+    }
+    require(spec.n_ops >= 1, "corpus spec needs ops >= 1");
+    require(spec.count >= 1, "corpus spec needs count >= 1");
+    return spec;
+}
+
+std::vector<corpus_entry> make_corpus(const corpus_spec& spec,
+                                      const hardware_model& model)
+{
+    return make_corpus(spec.n_ops, spec.count, model, spec.seed,
+                       spec.prototype);
 }
 
 } // namespace mwl

@@ -12,6 +12,7 @@
 #include "tgff/generator.hpp"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mwl {
@@ -32,6 +33,25 @@ struct corpus_entry {
 /// Latency constraint for a given relaxation: ceil(lambda_min*(1+slack)).
 /// slack = 0.0 reproduces the paper's lambda = lambda_min point.
 [[nodiscard]] int relaxed_lambda(int lambda_min, double slack);
+
+/// A `make_corpus` call as data, so tools can name a corpus in text form
+/// (mwl_batch manifests: `corpus ops=12 count=64 seed=2001 ...`).
+struct corpus_spec {
+    std::size_t n_ops = 10;
+    std::size_t count = 10;
+    std::uint64_t seed = 2001;
+    tgff_options prototype; ///< n_ops is overridden by the field above
+
+    /// Parse whitespace-free `key=value` tokens: ops, count, seed,
+    /// mul-fraction, min-width, max-width. Throws `precondition_error` on
+    /// unknown keys or unparseable values.
+    [[nodiscard]] static corpus_spec parse(
+        const std::vector<std::string>& tokens);
+};
+
+/// The corpus a spec describes (same derivation as the base overload).
+[[nodiscard]] std::vector<corpus_entry> make_corpus(
+    const corpus_spec& spec, const hardware_model& model);
 
 } // namespace mwl
 

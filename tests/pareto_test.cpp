@@ -107,6 +107,71 @@ TEST(Pareto, InvalidOptionsThrow)
                  precondition_error);
 }
 
+pareto_point make_point(int lambda, int latency, double area)
+{
+    pareto_point p;
+    p.lambda = lambda;
+    p.latency = latency;
+    p.area = area;
+    return p;
+}
+
+TEST(Pareto, MergeFrontiersDropsDominatedAndKeepsImprovements)
+{
+    std::vector<pareto_point> dst;
+    frontier_insert(dst, make_point(5, 5, 188.0));
+    std::vector<pareto_point> src;
+    src.push_back(make_point(6, 6, 200.0)); // worse area: dropped
+    src.push_back(make_point(8, 8, 156.0)); // improvement: kept
+    merge_frontiers(dst, std::move(src));
+    ASSERT_EQ(dst.size(), 2u);
+    EXPECT_EQ(dst[0].lambda, 5);
+    EXPECT_EQ(dst[1].lambda, 8);
+    EXPECT_DOUBLE_EQ(dst[1].area, 156.0);
+}
+
+TEST(Pareto, MergeFrontiersReplacesEqualLatencyPredecessor)
+{
+    // The equal-latency edge case: a constraint relaxation that yields the
+    // *same achieved latency* at lower area must replace its predecessor,
+    // not sit beside it -- the frontier stays strictly monotone.
+    std::vector<pareto_point> dst;
+    frontier_insert(dst, make_point(5, 4, 100.0));
+    std::vector<pareto_point> src;
+    src.push_back(make_point(6, 4, 80.0)); // same latency, lower area
+    merge_frontiers(dst, std::move(src));
+    ASSERT_EQ(dst.size(), 1u);
+    EXPECT_EQ(dst[0].lambda, 6);
+    EXPECT_EQ(dst[0].latency, 4);
+    EXPECT_DOUBLE_EQ(dst[0].area, 80.0);
+}
+
+TEST(Pareto, MergeFrontiersPopsEveryDominatedTailPoint)
+{
+    // One cheap slow point can dominate several faster predecessors.
+    std::vector<pareto_point> dst;
+    frontier_insert(dst, make_point(5, 5, 100.0));
+    frontier_insert(dst, make_point(6, 6, 90.0));
+    frontier_insert(dst, make_point(7, 7, 80.0));
+    std::vector<pareto_point> src;
+    src.push_back(make_point(9, 6, 40.0)); // dominates the last two
+    merge_frontiers(dst, std::move(src));
+    ASSERT_EQ(dst.size(), 2u);
+    EXPECT_EQ(dst[0].lambda, 5);
+    EXPECT_EQ(dst[1].lambda, 9);
+    EXPECT_EQ(dst[1].latency, 6);
+}
+
+TEST(Pareto, FrontierAdmitsUsesStrictImprovementWithEpsilon)
+{
+    std::vector<pareto_point> frontier;
+    EXPECT_TRUE(frontier_admits(frontier, 1e18)); // empty admits anything
+    frontier_insert(frontier, make_point(5, 5, 100.0));
+    EXPECT_FALSE(frontier_admits(frontier, 100.0));
+    EXPECT_FALSE(frontier_admits(frontier, 100.0 - 1e-12)); // within eps
+    EXPECT_TRUE(frontier_admits(frontier, 99.0));
+}
+
 TEST(Pareto, UniformModelFrontierIsSinglePointWhenNoTradeExists)
 {
     // With uniform latencies there is no latency-for-area trade at all on

@@ -7,10 +7,14 @@
 //
 // Usage:
 //   mwl_alloc GRAPH.mwl [--lambda N | --slack PCT] [--algorithm NAME]
-//             [--verilog FILE] [--dot] [--rtl] [--csv]
+//             [--sweep] [--jobs N] [--verilog FILE] [--dot] [--rtl] [--csv]
 //
 //   --algorithm dpalloc (default) | two-stage | descending | ilp
 //   --slack PCT  : lambda = ceil(lambda_min * (1 + PCT/100)); default 0
+//   --sweep      : print the Pareto frontier up to --slack (default 100%)
+//                  instead of one allocation
+//   --jobs N     : worker threads for --sweep (default 1 = serial order,
+//                  identical results at every N)
 //   --rtl        : also report register/mux inventory and extended area
 //   echo 'op a mul 8 8' | mwl_alloc -   reads from stdin
 
@@ -20,9 +24,11 @@
 #include "core/validate.hpp"
 #include "dfg/analysis.hpp"
 #include "dfg/dot.hpp"
+#include "engine/parallel_pareto.hpp"
 #include "ilp/formulation.hpp"
 #include "io/graph_io.hpp"
 #include "model/hardware_model.hpp"
+#include "report/table.hpp"
 #include "rtl/netlist.hpp"
 #include "rtl/verilog.hpp"
 #include "tgff/corpus.hpp"
@@ -43,6 +49,9 @@ namespace {
         "[default 0]\n"
         "  --algorithm NAME    dpalloc | two-stage | descending | ilp "
         "[dpalloc]\n"
+        "  --sweep             print the Pareto frontier up to --slack "
+        "[default 100]\n"
+        "  --jobs N            worker threads for --sweep [1]\n"
         "  --verilog FILE      write structural Verilog\n"
         "  --dot               print the graph in DOT form\n"
         "  --rtl               report registers/muxes and extended area\n"
@@ -58,11 +67,13 @@ int main(int argc, char** argv)
 
     std::string graph_file;
     std::optional<int> lambda_arg;
-    double slack = 0.0;
+    std::optional<double> slack_arg;
     std::string algorithm = "dpalloc";
     std::string verilog_file;
     bool want_dot = false;
     bool want_rtl = false;
+    bool want_sweep = false;
+    std::size_t sweep_jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -76,7 +87,17 @@ int main(int argc, char** argv)
         if (arg == "--lambda") {
             lambda_arg = std::stoi(value());
         } else if (arg == "--slack") {
-            slack = std::stod(value()) / 100.0;
+            slack_arg = std::stod(value()) / 100.0;
+        } else if (arg == "--sweep") {
+            want_sweep = true;
+        } else if (arg == "--jobs") {
+            const std::string text = value();
+            // stoul wraps negatives silently ("-1" -> 1.8e19 threads).
+            if (text.empty() || text[0] == '-') {
+                std::cerr << "mwl_alloc: --jobs must be non-negative\n";
+                usage(2);
+            }
+            sweep_jobs = std::stoul(text);
         } else if (arg == "--algorithm") {
             algorithm = value();
         } else if (arg == "--verilog") {
@@ -97,6 +118,14 @@ int main(int argc, char** argv)
     if (graph_file.empty()) {
         usage(2);
     }
+    if (want_sweep &&
+        (lambda_arg || algorithm != "dpalloc" || !verilog_file.empty() ||
+         want_rtl)) {
+        std::cerr << "mwl_alloc: --sweep explores dpalloc over a lambda"
+                     " range; it cannot be combined with --lambda,"
+                     " --algorithm, --verilog or --rtl\n";
+        usage(2);
+    }
 
     try {
         sequencing_graph graph;
@@ -113,8 +142,38 @@ int main(int argc, char** argv)
 
         const sonic_model model;
         const int lambda_min = min_latency(graph, model);
-        const int lambda =
-            lambda_arg ? *lambda_arg : relaxed_lambda(lambda_min, slack);
+
+        if (want_sweep) {
+            pareto_options sweep;
+            sweep.max_slack = slack_arg.value_or(1.0);
+            std::cout << "graph: " << graph.size() << " operations, "
+                      << graph.edge_count() << " dependencies, sweeping"
+                      << " lambda " << lambda_min << ".."
+                      << relaxed_lambda(lambda_min, sweep.max_slack) << '\n';
+            if (want_dot) {
+                std::cout << '\n' << to_dot(graph) << '\n';
+            }
+            const auto frontier =
+                parallel_pareto_sweep(graph, model, sweep, sweep_jobs);
+            table t("Pareto frontier (slack " +
+                    table::num(sweep.max_slack * 100.0, 0) + "%, " +
+                    std::to_string(sweep_jobs) + " jobs)");
+            t.header({"lambda", "latency", "area", "instances"});
+            for (const pareto_point& p : frontier) {
+                require_valid(graph, model, p.path, p.lambda);
+                t.row({table::num(p.lambda), table::num(p.latency),
+                       table::num(p.area, 1),
+                       table::num(static_cast<int>(p.path.instances.size()))});
+            }
+            std::cout << '\n';
+            t.print(std::cout);
+            return 0;
+        }
+
+        const int lambda = lambda_arg
+                               ? *lambda_arg
+                               : relaxed_lambda(lambda_min,
+                                                slack_arg.value_or(0.0));
         std::cout << "graph: " << graph.size() << " operations, "
                   << graph.edge_count() << " dependencies, lambda_min "
                   << lambda_min << ", lambda " << lambda << '\n';
