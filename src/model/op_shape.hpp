@@ -80,6 +80,18 @@ private:
 
 std::ostream& operator<<(std::ostream& os, const op_shape& shape);
 
+/// Operand width at port 0 / 1: port 0 carries the (wider-normalised)
+/// first operand, port 1 the second -- an adder's both ports are its
+/// single width. The one convention shared by the simulator (operand 0
+/// wraps at width_a), the elaborate pass, and the verification harness.
+[[nodiscard]] inline int operand_width(const op_shape& shape, int port)
+{
+    if (port == 0) {
+        return shape.width_a();
+    }
+    return shape.kind() == op_kind::mul ? shape.width_b() : shape.width_a();
+}
+
 } // namespace mwl
 
 #endif // MWL_MODEL_OP_SHAPE_HPP

@@ -1,0 +1,171 @@
+#include "rtl/elaborate.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mwl {
+namespace {
+
+int clog2_at_least_1(int value)
+{
+    int bits = 1;
+    while ((1 << bits) <= value) {
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+rtl_design elaborate(const sequencing_graph& graph, const datapath& path,
+                     const rtl_netlist& net, const std::string& module_name,
+                     const elaborate_options& options)
+{
+    require(!module_name.empty(), "module name must be non-empty");
+    require(path.start.size() == graph.size() &&
+                path.instance_of_op.size() == graph.size(),
+            "datapath does not match graph");
+    require(net.lifetimes.size() == graph.size(),
+            "netlist does not match graph");
+
+    rtl_design design;
+    design.module_name = module_name;
+    design.latency = path.latency;
+    design.counter_bits = clog2_at_least_1(std::max(path.latency, 1));
+    design.n_ops = graph.size();
+
+    design.register_width.reserve(net.registers.size());
+    for (const rtl_register& reg : net.registers) {
+        design.register_width.push_back(reg.width);
+    }
+
+    // Register index per value (value index == op id by construction).
+    std::vector<std::size_t> reg_of(graph.size(), 0);
+    for (std::size_t r = 0; r < net.registers.size(); ++r) {
+        for (const std::size_t vi : net.registers[r].values) {
+            reg_of[net.lifetimes[vi].producer.value()] = r;
+        }
+    }
+
+    // Primary I/O: an operand port with no predecessor is an input; an op
+    // without successors is an output. input_index[(op, port)] lets the
+    // operand muxes refer back to the port.
+    std::vector<std::array<std::size_t, 2>> input_index(
+        graph.size(),
+        {static_cast<std::size_t>(-1), static_cast<std::size_t>(-1)});
+    for (const op_id o : graph.all_ops()) {
+        const std::size_t n_preds = graph.predecessors(o).size();
+        require(n_preds <= 2, "operations take at most two operands");
+        for (int port = static_cast<int>(n_preds); port < 2; ++port) {
+            rtl_input in;
+            in.op = o;
+            in.port = port;
+            in.ext_index = static_cast<std::size_t>(port) - n_preds;
+            in.width = operand_width(graph.shape(o), port);
+            in.name = "in_o" + std::to_string(o.value()) + "_" +
+                      std::to_string(port);
+            input_index[o.value()][static_cast<std::size_t>(port)] =
+                design.inputs.size();
+            design.inputs.push_back(std::move(in));
+        }
+        if (graph.successors(o).empty()) {
+            rtl_output out;
+            out.op = o;
+            out.reg = reg_of[o.value()];
+            out.width = result_width(graph.shape(o));
+            out.name = "out_o" + std::to_string(o.value());
+            design.outputs.push_back(std::move(out));
+        }
+    }
+
+    // Functional units and their operand selections.
+    design.fus.reserve(path.instances.size());
+    for (std::size_t i = 0; i < path.instances.size(); ++i) {
+        const datapath_instance& inst = path.instances[i];
+        rtl_fu fu;
+        fu.kind = inst.shape.kind();
+        fu.width_a = operand_width(inst.shape, 0);
+        fu.width_b = operand_width(inst.shape, 1);
+        fu.width_y = result_width(inst.shape);
+        {
+            std::ostringstream comment;
+            comment << inst.shape.to_string() << " executing";
+            for (const op_id o : inst.ops) {
+                comment << " o" << o.value();
+            }
+            fu.comment = comment.str();
+        }
+        for (const op_id o : inst.ops) {
+            const auto preds = graph.predecessors(o);
+            const op_shape& native = graph.shape(o);
+            for (int port = 0; port < 2; ++port) {
+                rtl_operand_select sel;
+                sel.op = o;
+                sel.first_cycle = path.start[o.value()];
+                sel.last_cycle = path.start[o.value()] + inst.latency - 1;
+                int src_width = 0;
+                if (static_cast<std::size_t>(port) < preds.size()) {
+                    const std::size_t src_reg =
+                        reg_of[preds[static_cast<std::size_t>(port)]
+                                   .value()];
+                    sel.source = {rtl_source::kind::reg, src_reg};
+                    src_width = net.registers[src_reg].width;
+                } else {
+                    const std::size_t in_idx =
+                        input_index[o.value()]
+                                   [static_cast<std::size_t>(port)];
+                    sel.source = {rtl_source::kind::input, in_idx};
+                    src_width = design.inputs[in_idx].width;
+                }
+                const int port_width = port == 0 ? fu.width_a : fu.width_b;
+                if (options.legacy_operand_extension) {
+                    // Historical bug: straight continuous assignment, so a
+                    // narrower source zero-extends into the wider port and
+                    // no wrap at the operation's native width happens.
+                    sel.adapt.slice_width = std::min(src_width, port_width);
+                    sel.adapt.sign_extend = false;
+                } else {
+                    // Wrap at the *operation's* native operand width, then
+                    // sign-extend to the physical port (simulator.cpp
+                    // apply_op semantics, now in hardware).
+                    sel.adapt.slice_width =
+                        std::min(src_width, operand_width(native, port));
+                    sel.adapt.sign_extend = true;
+                }
+                sel.adapt.out_width = port_width;
+                fu.select[static_cast<std::size_t>(port)].push_back(sel);
+            }
+        }
+        for (auto& selects : fu.select) {
+            std::sort(selects.begin(), selects.end(),
+                      [](const rtl_operand_select& x,
+                         const rtl_operand_select& y) {
+                          return x.first_cycle < y.first_cycle;
+                      });
+        }
+        design.fus.push_back(std::move(fu));
+    }
+
+    // Capture schedule: each result latches at the end of its producing
+    // operation's last execution cycle, sliced at the operation's native
+    // result width and (unless reproducing the legacy bug) sign-extended
+    // to the shared register's width.
+    design.captures.reserve(graph.size());
+    for (const op_id o : graph.all_ops()) {
+        rtl_capture cap;
+        cap.op = o;
+        cap.cycle = path.start[o.value()] + path.bound_latency(o) - 1;
+        cap.reg = reg_of[o.value()];
+        cap.fu = path.instance_of_op[o.value()];
+        cap.adapt.slice_width = result_width(graph.shape(o));
+        cap.adapt.out_width = net.registers[cap.reg].width;
+        cap.adapt.sign_extend = !options.legacy_capture_extension;
+        design.captures.push_back(cap);
+    }
+    std::sort(design.captures.begin(), design.captures.end(), capture_order);
+    return design;
+}
+
+} // namespace mwl

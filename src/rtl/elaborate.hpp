@@ -1,0 +1,54 @@
+// Elaboration: allocated datapath -> structural RTL IR.
+//
+// Lowers a (graph, datapath, netlist) triple into an `rtl_design`:
+// one functional unit per datapath instance, the left-edge register file,
+// operand selections held for each operation's whole execution span, the
+// capture schedule, and primary I/O. All multiple-wordlength adaptation
+// semantics are decided here, once:
+//
+//  * an operand read from a register or primary input is sliced at the
+//    *operation's* native operand width (the two's-complement wrap the
+//    simulator applies upstream of a wider shared unit) and sign-extended
+//    to the physical port width;
+//  * a result is sliced at the operation's native result width and stored
+//    sign-extended to the (possibly wider, shared) register's width.
+//
+// The legacy_* options reproduce the historical emitter's zero-extension
+// bugs so the differential harness (src/verify/) can demonstrate the
+// failure class it guards against; never enable them for real designs.
+
+#ifndef MWL_RTL_ELABORATE_HPP
+#define MWL_RTL_ELABORATE_HPP
+
+#include "rtl/netlist.hpp"
+#include "rtl/rtl_design.hpp"
+
+#include <string>
+
+namespace mwl {
+
+struct elaborate_options {
+    /// Reproduce the pre-IR emitter's operand handling: no slice at the
+    /// operation's native width, zero-extension of narrower sources into
+    /// wider ports. Corrupts negative operands; for harness self-tests.
+    bool legacy_operand_extension = false;
+    /// Reproduce the pre-IR emitter's register capture: result slices
+    /// zero-extended into wider shared registers, so negative results
+    /// read back with zero upper bits. For harness self-tests.
+    bool legacy_capture_extension = false;
+};
+
+/// Build the structural RTL IR for an allocated datapath. `net` must have
+/// been built for the same (graph, path) pair. Throws `precondition_error`
+/// on an empty module name or a netlist/datapath that does not match the
+/// graph. The result passes `validate_design` whenever both legacy options
+/// are off.
+[[nodiscard]] rtl_design elaborate(const sequencing_graph& graph,
+                                   const datapath& path,
+                                   const rtl_netlist& net,
+                                   const std::string& module_name,
+                                   const elaborate_options& options = {});
+
+} // namespace mwl
+
+#endif // MWL_RTL_ELABORATE_HPP

@@ -31,7 +31,10 @@ std::vector<value_lifetime> compute_lifetimes(const sequencing_graph& graph,
         v.birth = path.start[o.value()] + path.bound_latency(o);
         v.width = result_width(graph.shape(o));
         if (graph.successors(o).empty()) {
-            v.death = path.latency; // primary output: live to the end
+            // Primary output: live strictly *past* the final capture edge,
+            // so a value captured on the last cycle can never recycle the
+            // register of another output still being read from outside.
+            v.death = path.latency + 1;
         } else {
             // Consumers sample their operands for their whole execution
             // span (combinational units with held operand selection), so

@@ -21,7 +21,9 @@ namespace mwl {
 
 /// One value: the result of `producer`, live over [birth, death).
 /// Values whose producer has no consumers are primary outputs and stay
-/// live until the end of the schedule.
+/// live past the end of the schedule (death == latency + 1): they are
+/// read from outside after the final capture edge, so their registers
+/// must never be recycled by a last-cycle capture.
 struct value_lifetime {
     op_id producer;
     int birth = 0;  ///< producer finish time

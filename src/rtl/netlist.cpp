@@ -71,10 +71,7 @@ rtl_netlist build_rtl(const sequencing_graph& graph,
                 rtl_mux mux;
                 mux.feeds_fu = true;
                 mux.fan_in = fan_in;
-                mux.width = port == 0 ? inst.shape.width_a()
-                            : inst.shape.kind() == op_kind::mul
-                                ? inst.shape.width_b()
-                                : inst.shape.width_a();
+                mux.width = operand_width(inst.shape, port);
                 net.muxes.push_back(mux);
             }
         }

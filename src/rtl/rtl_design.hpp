@@ -1,0 +1,154 @@
+// Structural RTL intermediate representation.
+//
+// `rtl_design` is the single source of truth between allocation and the
+// outside world: the `elaborate()` pass (rtl/elaborate.hpp) lowers an
+// allocated datapath into functional units, a shared register file, per-
+// cycle operand selections and a capture schedule -- with every width
+// adaptation (slice at the operation's native wordlength, then sign- or
+// zero-extension to the physical port) an *explicit* `rtl_adapt` node.
+// Both the Verilog printer (rtl/verilog.hpp) and the cycle-accurate
+// interpreter (rtl/rtl_interp.hpp) consume this IR, so what we simulate is
+// definitionally what we print; the extension semantics are decided once,
+// in elaborate, not per backend.
+
+#ifndef MWL_RTL_RTL_DESIGN_HPP
+#define MWL_RTL_RTL_DESIGN_HPP
+
+#include "model/op_shape.hpp"
+#include "support/ids.hpp"
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mwl {
+
+/// Where a functional-unit operand comes from.
+struct rtl_source {
+    enum class kind {
+        reg,   ///< a register of the shared register file
+        input, ///< a primary input port
+    };
+    kind from = kind::reg;
+    std::size_t index = 0; ///< register index or index into rtl_design::inputs
+};
+
+/// Bit adaptation between a source and a sink: take the low `slice_width`
+/// bits of the source (a two's-complement wrap at that width), then extend
+/// to `out_width` bits -- replicating the slice's sign bit when
+/// `sign_extend` is set, zeros otherwise. Multiple-wordlength correctness
+/// (operands wrapped at the *operation's* native width, results stored
+/// sign-extended into possibly wider shared registers) lives entirely in
+/// these nodes.
+struct rtl_adapt {
+    int slice_width = 1;
+    int out_width = 1;
+    bool sign_extend = true;
+};
+
+/// One operand-mux case entry: during cycles [first_cycle, last_cycle]
+/// (inclusive; the whole execution span of `op`) the port reads `source`
+/// through `adapt`.
+struct rtl_operand_select {
+    int first_cycle = 0;
+    int last_cycle = 0;
+    rtl_source source;
+    rtl_adapt adapt;
+    op_id op;    ///< operation served (diagnostics and tracing)
+};
+
+/// One functional unit (one per datapath instance): a combinational
+/// signed `+` / `*` body behind two operand-select registers that hold
+/// their selection for the whole execution span.
+struct rtl_fu {
+    op_kind kind = op_kind::add;
+    int width_a = 1; ///< operand port widths (instance shape)
+    int width_b = 1;
+    int width_y = 1; ///< result width of the instance shape
+    std::array<std::vector<rtl_operand_select>, 2> select; ///< per port
+    std::string comment; ///< shape + executed ops, for the printer
+};
+
+/// One register write: at the end of `cycle`, register `reg` latches the
+/// low `adapt.slice_width` bits of fu `fu`'s result (the producing
+/// operation's native result width) extended to the register width.
+struct rtl_capture {
+    int cycle = 0;
+    std::size_t reg = 0;
+    std::size_t fu = 0;
+    rtl_adapt adapt;
+    op_id op;    ///< value produced (each op is captured exactly once)
+};
+
+/// Ordering invariant of rtl_design::captures -- by cycle, then register.
+/// Elaborate sorts with it, validate_design checks it, and the printer
+/// and interpreter rely on it to group same-edge writes.
+[[nodiscard]] inline bool capture_order(const rtl_capture& x,
+                                        const rtl_capture& y)
+{
+    return x.cycle < y.cycle || (x.cycle == y.cycle && x.reg < y.reg);
+}
+
+/// A primary input: external operand `ext_index` of operation `op`
+/// (operand port `port`), at the operation's native operand width.
+struct rtl_input {
+    op_id op;
+    int port = 0;
+    std::size_t ext_index = 0; ///< position within sim_inputs[op]
+    int width = 1;
+    std::string name;
+};
+
+/// A primary output: the low `width` bits (the producing operation's
+/// native result width) of register `reg`.
+struct rtl_output {
+    op_id op;
+    std::size_t reg = 0;
+    int width = 1;
+    std::string name;
+};
+
+struct rtl_design {
+    std::string module_name;
+    int latency = 0;      ///< schedule length in cycles
+    int counter_bits = 1; ///< width of the cycle counter
+    std::size_t n_ops = 0;
+    std::vector<int> register_width;
+    std::vector<rtl_fu> fus;
+    std::vector<rtl_capture> captures; ///< sorted by (cycle, reg)
+    std::vector<rtl_input> inputs;
+    std::vector<rtl_output> outputs;
+};
+
+/// Width of the bits a source can legally provide (0 when the source
+/// index is out of range -- validate_design reports that as a violation).
+[[nodiscard]] inline int source_width(const rtl_design& design,
+                                      const rtl_source& source)
+{
+    switch (source.from) {
+    case rtl_source::kind::reg:
+        return source.index < design.register_width.size()
+                   ? design.register_width[source.index]
+                   : 0;
+    case rtl_source::kind::input:
+        return source.index < design.inputs.size()
+                   ? design.inputs[source.index].width
+                   : 0;
+    }
+    return 0;
+}
+
+/// Structural validation: index ranges, width consistency (slices never
+/// wider than their source, adaptations matching their sink), disjoint
+/// operand selections per port, every operation captured exactly once
+/// inside the schedule, and -- the value-correctness invariants this IR
+/// exists to enforce -- every widening adaptation sign-extends (a
+/// zero-extending widening corrupts negative two's-complement values).
+/// Returns human-readable violations; empty means clean.
+[[nodiscard]] std::vector<std::string> validate_design(
+    const rtl_design& design);
+
+} // namespace mwl
+
+#endif // MWL_RTL_RTL_DESIGN_HPP

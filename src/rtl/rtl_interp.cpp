@@ -1,0 +1,114 @@
+#include "rtl/rtl_interp.hpp"
+
+#include "support/error.hpp"
+
+#include <string>
+
+namespace mwl {
+namespace {
+
+/// Apply an adaptation node to a source value held as a signed integer:
+/// take the low `slice_width` bits, then extend to `out_width`. Matches
+/// the printed {{n{sel}}, src[w-1:0]} concatenation bit for bit, with the
+/// result interpreted as a signed `out_width`-bit quantity.
+std::int64_t apply_adapt(std::int64_t value, const rtl_adapt& adapt)
+{
+    if (adapt.sign_extend) {
+        // Slice + sign-extension: a two's-complement wrap at the slice
+        // width; the widening to out_width preserves the signed value.
+        return wrap_to_width(value, adapt.slice_width);
+    }
+    // Slice + zero-extension: the upper out_width - slice_width bits are
+    // zero, so the value is the non-negative slice pattern -- unless the
+    // slice already fills the sink, where bit out_width-1 is the sign.
+    const std::uint64_t mask =
+        (std::uint64_t{1} << adapt.slice_width) - 1;
+    const std::int64_t pattern =
+        static_cast<std::int64_t>(static_cast<std::uint64_t>(value) & mask);
+    return wrap_to_width(pattern, adapt.out_width);
+}
+
+} // namespace
+
+rtl_interp_result interpret(const rtl_design& design,
+                            const sim_inputs& external)
+{
+    // Latch the primary inputs once: ports are constant wires for the
+    // whole run, wrapped at their declared width like any hardware pin.
+    std::vector<std::int64_t> input_value(design.inputs.size(), 0);
+    for (std::size_t i = 0; i < design.inputs.size(); ++i) {
+        const rtl_input& in = design.inputs[i];
+        const std::size_t o = in.op.value();
+        require(o < external.size() && in.ext_index < external[o].size(),
+                "missing external operand " + std::to_string(in.ext_index) +
+                    " for op " + std::to_string(o));
+        input_value[i] = wrap_to_width(external[o][in.ext_index], in.width);
+    }
+
+    rtl_interp_result result;
+    result.value_of_op.assign(design.n_ops, 0);
+    result.capture_cycle_of_op.assign(design.n_ops, -1);
+    result.cycles = design.latency;
+
+    std::vector<std::int64_t> reg_value(design.register_width.size(), 0);
+
+    // The FU operand registers are combinationally re-driven every cycle,
+    // so evaluating a unit lazily at its capture cycles is exact: the
+    // operand selection active in that cycle fully determines the value.
+    const auto port_value = [&](const rtl_fu& fu, int port,
+                                int cycle) -> std::int64_t {
+        for (const rtl_operand_select& sel :
+             fu.select[static_cast<std::size_t>(port)]) {
+            if (sel.first_cycle <= cycle && cycle <= sel.last_cycle) {
+                const std::int64_t raw =
+                    sel.source.from == rtl_source::kind::reg
+                        ? reg_value[sel.source.index]
+                        : input_value[sel.source.index];
+                return apply_adapt(raw, sel.adapt);
+            }
+        }
+        return 0; // the mux default assignment
+    };
+
+    // Captures are sorted by cycle; process one posedge at a time with
+    // nonblocking semantics: every functional unit latching this cycle is
+    // evaluated against the register values of the *previous* edge, then
+    // all writes commit together. (A value dying exactly when its register
+    // is recycled has its last read and the overwriting capture on the
+    // same edge; committing eagerly would leak the new value backwards.)
+    for (std::size_t c = 0; c < design.captures.size();) {
+        const int cycle = design.captures[c].cycle;
+        const std::size_t first = c;
+        std::vector<std::int64_t> staged;
+        for (; c < design.captures.size() &&
+               design.captures[c].cycle == cycle;
+             ++c) {
+            const rtl_capture& cap = design.captures[c];
+            const rtl_fu& fu = design.fus[cap.fu];
+            const std::int64_t a = port_value(fu, 0, cycle);
+            const std::int64_t b = port_value(fu, 1, cycle);
+            const std::int64_t y =
+                fu.kind == op_kind::add
+                    ? wrap_to_width(a + b, fu.width_y)
+                    : wrap_to_width(a * b, fu.width_y);
+            staged.push_back(apply_adapt(y, cap.adapt));
+            // The op's value is the captured slice as a signed quantity --
+            // what a consumer reading the (sign-extended) register sees.
+            result.value_of_op[cap.op.value()] =
+                wrap_to_width(y, cap.adapt.slice_width);
+            result.capture_cycle_of_op[cap.op.value()] = cycle;
+        }
+        for (std::size_t k = first; k < c; ++k) {
+            reg_value[design.captures[k].reg] = staged[k - first];
+        }
+    }
+
+    result.outputs.reserve(design.outputs.size());
+    for (const rtl_output& out : design.outputs) {
+        result.outputs.push_back(
+            wrap_to_width(reg_value[out.reg], out.width));
+    }
+    return result;
+}
+
+} // namespace mwl

@@ -1,0 +1,48 @@
+// Cycle-accurate interpreter for the structural RTL IR.
+//
+// Executes an `rtl_design` exactly as the printed Verilog would: a cycle
+// counter runs 0..latency-1; each functional unit's operand registers
+// follow the per-cycle selection table through the IR's explicit
+// slice/extend adaptation nodes; the combinational body applies *signed*
+// arithmetic wrapped at the unit's result width; and at the end of each
+// cycle the capture schedule latches result slices into the shared
+// register file. Because interpreter and printer consume the same IR, a
+// value divergence from the bit-true reference (sim/simulator.hpp) is a
+// real hardware bug, not a modelling artefact -- this is the executable
+// half of the differential verification subsystem (src/verify/).
+
+#ifndef MWL_RTL_RTL_INTERP_HPP
+#define MWL_RTL_RTL_INTERP_HPP
+
+#include "rtl/rtl_design.hpp"
+#include "sim/simulator.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mwl {
+
+struct rtl_interp_result {
+    /// Value captured for each operation (the low `slice_width` bits of
+    /// the producing unit's result, as a signed integer at that width) --
+    /// directly comparable with sim_result::value_of_op.
+    std::vector<std::int64_t> value_of_op;
+    /// Cycle each operation's value was captured, per op id (-1 if the
+    /// design never captures it; validate_design rejects such designs).
+    std::vector<int> capture_cycle_of_op;
+    /// Primary output values read from the register file after the final
+    /// cycle, in design.outputs order.
+    std::vector<std::int64_t> outputs;
+    int cycles = 0; ///< executed schedule length
+};
+
+/// Execute `design` on `external` (same convention as the simulator:
+/// external[o] lists operation o's external operands in port order).
+/// Throws `precondition_error` when `external` does not supply the
+/// operands the design's primary inputs require.
+[[nodiscard]] rtl_interp_result interpret(const rtl_design& design,
+                                          const sim_inputs& external);
+
+} // namespace mwl
+
+#endif // MWL_RTL_RTL_INTERP_HPP

@@ -1,23 +1,31 @@
 // Structural Verilog emission for an allocated datapath.
 //
-// Emits a self-contained synthesisable module: one functional unit per
-// datapath instance, the left-edge register file, operand/register
-// multiplexing driven by a cycle counter ("one-hot in time" schedule
-// controller), primary inputs for operands that are not produced inside
-// the graph, and primary outputs for operations without consumers.
-// Multi-cycle units hold their operand selection for the whole execution
-// span, so plain combinational +/* bodies model the SONIC-style timing.
+// Prints a self-contained synthesisable Verilog-2001 module from the
+// structural RTL IR (rtl/rtl_design.hpp): one functional unit per datapath
+// instance with *signed* arithmetic bodies, the left-edge register file,
+// operand/register multiplexing driven by a cycle counter ("one-hot in
+// time" schedule controller), and primary I/O. Every width adaptation the
+// IR carries (slice at the operation's native wordlength, sign-extension
+// into wider shared ports and registers) is printed as an explicit
+// {{n{msb}}, slice} concatenation, so the module computes exactly what the
+// interpreter (rtl/rtl_interp.hpp) computes from the same IR.
 
 #ifndef MWL_RTL_VERILOG_HPP
 #define MWL_RTL_VERILOG_HPP
 
+#include "rtl/elaborate.hpp"
 #include "rtl/netlist.hpp"
+#include "rtl/rtl_design.hpp"
 
 #include <string>
 
 namespace mwl {
 
-/// Render the datapath as a Verilog-2001 module named `module_name`.
+/// Render an elaborated design as Verilog text.
+[[nodiscard]] std::string to_verilog(const rtl_design& design);
+
+/// Convenience wrapper: elaborate `path`/`net` into an IR and print it.
+/// Throws `precondition_error` if `module_name` is empty.
 [[nodiscard]] std::string to_verilog(const sequencing_graph& graph,
                                      const datapath& path,
                                      const rtl_netlist& net,

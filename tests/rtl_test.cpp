@@ -5,6 +5,7 @@
 #include "core/dpalloc.hpp"
 #include "dfg/analysis.hpp"
 #include "model/hardware_model.hpp"
+#include "rtl/elaborate.hpp"
 #include "rtl/netlist.hpp"
 #include "rtl/verilog.hpp"
 #include "support/error.hpp"
@@ -56,16 +57,17 @@ TEST(Lifetimes, BirthAtFinishDeathAtLastConsumer)
                        lifetimes[0].birth + 1));
 }
 
-TEST(Lifetimes, PrimaryOutputLivesToScheduleEnd)
+TEST(Lifetimes, PrimaryOutputLivesPastScheduleEnd)
 {
     const sequencing_graph g = fig1_graph();
     const sonic_model model;
     const dpalloc_result r = dpalloc(g, model, 8);
     const auto lifetimes = compute_lifetimes(g, r.path);
-    // The output register holds the result at least one cycle past the
-    // producer's finish, even when that finish is the schedule end.
-    EXPECT_EQ(lifetimes[2].death,
-              std::max(r.path.latency, lifetimes[2].birth + 1));
+    // Output registers are read from outside after the final capture
+    // edge, so the value must outlive the whole schedule -- otherwise a
+    // last-cycle capture of another output could recycle its register.
+    EXPECT_EQ(lifetimes[2].death, r.path.latency + 1);
+    EXPECT_GT(lifetimes[2].death, lifetimes[2].birth);
 }
 
 TEST(LeftEdge, CountEqualsMaxOverlap)
@@ -244,15 +246,67 @@ TEST(Verilog, PrimaryIoMatchesGraphShape)
     EXPECT_EQ(v.find("out_o0"), std::string::npos);
 }
 
-TEST(Verilog, MultiplierUsesStarAdderUsesPlus)
+TEST(Verilog, MultiplierUsesSignedStarAdderUsesSignedPlus)
 {
     const sequencing_graph g = fig1_graph();
     const sonic_model model;
     const dpalloc_result r = dpalloc(g, model, 8);
     const rtl_netlist net = build_rtl(g, model, r.path);
     const std::string v = to_verilog(g, r.path, net, "fig1");
-    EXPECT_NE(v.find("_a * "), std::string::npos);
-    EXPECT_NE(v.find("_a + "), std::string::npos);
+    // Bodies must be *signed*: an unsigned `*` over raw two's-complement
+    // bits diverges in the upper half of the product.
+    EXPECT_NE(v.find("_a) * $signed("), std::string::npos);
+    EXPECT_NE(v.find("_a) + $signed("), std::string::npos);
+}
+
+TEST(Verilog, SharedUnitOperandsAreSignExtended)
+{
+    // lambda = 8 shares the 12x12 multiplier: the 8x4 operation's
+    // operands must be sign-extended into the wider ports, and its
+    // 12-bit result sign-extended into the 24-bit shared register.
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    const std::string v = to_verilog(g, r.path, net, "fig1");
+    EXPECT_NE(v.find("{{4{in_o1_0[7]}}, in_o1_0}"), std::string::npos);
+    EXPECT_NE(v.find("{{8{in_o1_1[3]}}, in_o1_1}"), std::string::npos);
+    EXPECT_NE(v.find("{{12{fu0_y[11]}}, fu0_y}"), std::string::npos);
+    // No widening assignment without a replication prefix: the value
+    // capture of the shared mul is sliced at the native result width.
+    EXPECT_NE(v.find("fu1_y[11:0]; // o1"), std::string::npos);
+}
+
+TEST(Verilog, ElaboratedDesignValidates)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(10, 5, model, 23);
+    for (const corpus_entry& e : corpus) {
+        const dpalloc_result r =
+            dpalloc(e.graph, model, relaxed_lambda(e.lambda_min, 0.2));
+        const rtl_netlist net = build_rtl(e.graph, model, r.path);
+        const rtl_design design = elaborate(e.graph, r.path, net, "dut");
+        EXPECT_TRUE(validate_design(design).empty());
+        EXPECT_EQ(to_verilog(design), to_verilog(e.graph, r.path, net, "dut"));
+    }
+}
+
+TEST(Verilog, LegacyElaborationFailsValidation)
+{
+    const sequencing_graph g = fig1_graph();
+    const sonic_model model;
+    const dpalloc_result r = dpalloc(g, model, 8);
+    const rtl_netlist net = build_rtl(g, model, r.path);
+    elaborate_options legacy;
+    legacy.legacy_operand_extension = true;
+    const auto bad_ops = validate_design(elaborate(g, r.path, net, "dut",
+                                                   legacy));
+    EXPECT_FALSE(bad_ops.empty());
+    elaborate_options legacy_cap;
+    legacy_cap.legacy_capture_extension = true;
+    const auto bad_cap = validate_design(
+        elaborate(g, r.path, net, "dut", legacy_cap));
+    EXPECT_FALSE(bad_cap.empty());
 }
 
 TEST(Verilog, EmptyModuleNameThrows)

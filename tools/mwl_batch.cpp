@@ -8,18 +8,22 @@
 //
 // Manifest format (one entry per line; '#' starts a comment):
 //
-//   graph FILE [lambda=N | slack=PCT | sweep=PCT]
+//   graph FILE [lambda=N | slack=PCT | sweep=PCT] [verify=N]
 //   corpus ops=N count=N [seed=S] [mul-fraction=F] [min-width=W]
-//          [max-width=W] [lambda=N | slack=PCT | sweep=PCT]
+//          [max-width=W] [lambda=N | slack=PCT | sweep=PCT] [verify=N]
 //
 // `slack=PCT` allocates at ceil(lambda_min*(1+PCT/100)) (default slack=0);
 // `sweep=PCT` runs a Pareto sweep over [lambda_min, that bound] instead of
-// a single allocation. Corpus entries expand to `count` jobs sharing one
-// spec.
+// a single allocation. `verify=N` differentially verifies the entry
+// instead of allocating it: every allocator's datapath is checked against
+// the bit-true reference and the RTL interpreter (src/verify/) on N random
+// signed input vectors; a counterexample fails the run. Corpus entries
+// expand to `count` jobs sharing one spec.
 //
 // Usage:
 //   mwl_batch MANIFEST [--jobs N] [--json FILE] [--csv] [--cache N]
 //   echo 'corpus ops=8 count=4 sweep=30' | mwl_batch -
+//   echo 'corpus ops=8 count=4 verify=16' | mwl_batch -
 
 #include "dfg/analysis.hpp"
 #include "engine/batch_engine.hpp"
@@ -29,6 +33,7 @@
 #include "report/table.hpp"
 #include "support/timer.hpp"
 #include "tgff/corpus.hpp"
+#include "verify/differential.hpp"
 
 #include <deque>
 #include <fstream>
@@ -53,18 +58,27 @@ using namespace mwl;
         "  --cache N    result cache capacity [1024]\n"
         "  MANIFEST of '-' reads the manifest from stdin\n"
         "manifest lines:\n"
-        "  graph FILE [lambda=N | slack=PCT | sweep=PCT]\n"
+        "  graph FILE [lambda=N | slack=PCT | sweep=PCT] [verify=N]\n"
         "  corpus ops=N count=N [seed=S] [mul-fraction=F] [min-width=W]\n"
-        "         [max-width=W] [lambda=N | slack=PCT | sweep=PCT]\n";
+        "         [max-width=W] [lambda=N | slack=PCT | sweep=PCT]\n"
+        "         [verify=N]\n"
+        "  verify=N cross-checks reference == datapath sim == RTL\n"
+        "  interpretation on N random signed input vectors per graph\n";
     std::exit(code);
 }
 
 /// What to do with one graph: allocate at a fixed lambda / relaxed slack,
-/// or sweep the frontier up to a slack bound.
+/// sweep the frontier up to a slack bound, or differentially verify the
+/// allocators' RTL on random signed inputs.
 struct directive {
     std::optional<int> lambda;
     double slack = 0.0;
     std::optional<double> sweep_slack; ///< set = Pareto sweep entry
+    std::optional<std::size_t> verify_inputs; ///< set = verification entry
+    /// Input-vector seed for verification entries; derived per entry from
+    /// the corpus seed (mirroring verify_corpus) so `seed=` in the
+    /// manifest changes the inputs too, not just the graphs.
+    std::uint64_t verify_seed = 2001;
 };
 
 /// One expanded unit of work. Graphs live in the owning deque below;
@@ -99,6 +113,13 @@ bool take_directive(const std::string& token, directive& out)
         if (const auto v = value_of("sweep=")) {
             out.sweep_slack = std::stod(*v) / 100.0;
             require(*out.sweep_slack >= 0.0, "sweep must be non-negative");
+            return true;
+        }
+        if (const auto v = value_of("verify=")) {
+            require(v->empty() || (*v)[0] != '-',
+                    "verify count must be non-negative");
+            out.verify_inputs = std::stoul(*v);
+            require(*out.verify_inputs >= 1, "verify needs >= 1 input");
             return true;
         }
     } catch (const std::invalid_argument&) {
@@ -219,11 +240,14 @@ int main(int argc, char** argv)
                         fail("unknown graph token '" + token + "'");
                     }
                 }
+                require(!(what.sweep_slack && what.verify_inputs),
+                        "sweep= and verify= are mutually exclusive");
                 std::ifstream gf(path);
                 if (!gf) {
                     fail("cannot open graph file " + path);
                 }
                 graphs.push_back(parse_graph(gf));
+                what.verify_seed = verify_input_seed(2001, items.size());
                 items.push_back({path, &graphs.back(), what});
             } else if (keyword == "corpus") {
                 directive what;
@@ -234,14 +258,18 @@ int main(int argc, char** argv)
                         spec_tokens.push_back(token);
                     }
                 }
+                require(!(what.sweep_slack && what.verify_inputs),
+                        "sweep= and verify= are mutually exclusive");
                 const corpus_spec spec = corpus_spec::parse(spec_tokens);
                 const sonic_model probe; // lambda_min recomputed per job
+                std::size_t entry = 0;
                 for (corpus_entry& e : make_corpus(spec, probe)) {
                     graphs.push_back(std::move(e.graph));
                     const std::string name =
                         "tgff(ops=" + std::to_string(spec.n_ops) +
                         ",seed=" + std::to_string(spec.seed) + ")#" +
                         std::to_string(items.size());
+                    what.verify_seed = verify_input_seed(spec.seed, entry++);
                     items.push_back({name, &graphs.back(), what});
                 }
             } else {
@@ -280,32 +308,65 @@ int main(int argc, char** argv)
             const int lambda =
                 item.what.lambda
                     ? *item.what.lambda
-                    : relaxed_lambda(min_latency(*item.graph, model),
-                                     item.what.slack);
+                    : item.graph->empty()
+                        ? 0
+                        : relaxed_lambda(min_latency(*item.graph, model),
+                                         item.what.slack);
             lambda_of_item[i] = lambda;
+            if (item.what.verify_inputs) {
+                continue; // verified on the pool below, at this lambda
+            }
             job_of_item[i] = engine.submit(*item.graph, model, lambda);
         }
         const auto outcomes = engine.drain();
 
-        // Sweep entries run concurrently across items too: one task per
-        // graph, each fanning per-lambda subtasks on the same pool.
+        // Sweep and verification entries run concurrently across items
+        // too: one task per graph on the same pool (sweeps additionally
+        // fan per-lambda subtasks).
         std::vector<std::vector<pareto_point>> fronts(items.size());
+        std::vector<verify_report> verifications(items.size());
         {
-            task_group sweeps(pool);
+            task_group tasks(pool);
             for (std::size_t i = 0; i < items.size(); ++i) {
                 const work_item& item = items[i];
-                if (!item.what.sweep_slack) {
-                    continue;
+                if (item.what.sweep_slack) {
+                    pareto_options sweep;
+                    sweep.max_slack = *item.what.sweep_slack;
+                    const sequencing_graph* graph = item.graph;
+                    std::vector<pareto_point>* slot = &fronts[i];
+                    tasks.run([&pool, &model, sweep, graph, slot] {
+                        *slot =
+                            parallel_pareto_sweep(*graph, model, sweep, pool);
+                    });
+                } else if (item.what.verify_inputs) {
+                    verify_options options;
+                    options.inputs_per_graph = *item.what.verify_inputs;
+                    options.slack = item.what.slack;
+                    const int lambda = lambda_of_item[i];
+                    const work_item* work = &item;
+                    verify_report* slot = &verifications[i];
+                    tasks.run([&model, options, lambda, work, slot] {
+                        if (work->graph->empty()) {
+                            return; // nothing to verify; report stays ok
+                        }
+                        try {
+                            *slot = verify_graph(*work->graph, work->name,
+                                                 model, lambda, options,
+                                                 work->what.verify_seed);
+                        } catch (const error& e) {
+                            // A broken entry (e.g. a graph too wide to
+                            // simulate) fails its own row, not the batch.
+                            counterexample cx;
+                            cx.graph_name = work->name;
+                            cx.allocator = "-";
+                            cx.stage = "error";
+                            cx.detail = e.what();
+                            slot->counterexamples.push_back(std::move(cx));
+                        }
+                    });
                 }
-                pareto_options sweep;
-                sweep.max_slack = *item.what.sweep_slack;
-                const sequencing_graph* graph = item.graph;
-                std::vector<pareto_point>* slot = &fronts[i];
-                sweeps.run([&pool, &model, sweep, graph, slot] {
-                    *slot = parallel_pareto_sweep(*graph, model, sweep, pool);
-                });
             }
-            sweeps.wait();
+            tasks.wait();
         }
         const double wall = clock.seconds();
 
@@ -341,6 +402,23 @@ int main(int argc, char** argv)
                 for (const pareto_point& p : fronts[i]) {
                     emit_row(item.name, "sweep", p.lambda, p.latency, p.area,
                              "front");
+                }
+                continue;
+            }
+            if (item.what.verify_inputs) {
+                const verify_report& vr = verifications[i];
+                const int lambda = lambda_of_item[i];
+                if (vr.ok()) {
+                    emit_row(item.name, "verify", lambda, 0, 0.0,
+                             "ok (" + std::to_string(vr.value_checks) +
+                                 " checks, " +
+                                 std::to_string(vr.allocations) +
+                                 " allocations)");
+                } else {
+                    emit_row(item.name, "verify", lambda, 0, 0.0,
+                             "counterexample: " +
+                                 vr.counterexamples.front().to_string());
+                    ++failures;
                 }
                 continue;
             }

@@ -1,0 +1,211 @@
+// mwl_verify -- differential RTL verification driver.
+//
+// Generates a seeded TGFF corpus (or loads .mwl graph files), allocates
+// every graph with each enabled allocator, and checks
+//
+//     reference_evaluate == simulate_datapath == RTL interpretation
+//
+// on random signed input vectors, reporting the first divergent
+// (graph, allocator, input, op, cycle) counterexample and exiting 1.
+// Exit 0 means every value matched.
+//
+// Usage:
+//   mwl_verify [--ops N] [--count N] [--seed S] [--inputs N] [--slack PCT]
+//              [--mul-fraction F] [--min-width W] [--max-width W]
+//              [--ilp-max-ops N] [--no-heuristic] [--no-two-stage]
+//              [--no-descending] [--jobs N] [--graph FILE]...
+//
+//   mwl_verify --ops 8 --count 50 --inputs 16       # corpus sweep
+//   mwl_verify --graph filters/fir8.mwl --inputs 64 # specific designs
+
+#include "dfg/analysis.hpp"
+#include "io/graph_io.hpp"
+#include "model/hardware_model.hpp"
+#include "support/timer.hpp"
+#include "verify/differential.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace mwl;
+
+[[noreturn]] void usage(int code)
+{
+    std::cout <<
+        "usage: mwl_verify [options] [--graph FILE]...\n"
+        "corpus selection (ignored when --graph is given):\n"
+        "  --ops N           operations per generated graph [10]\n"
+        "  --count N         graphs in the corpus [50]\n"
+        "  --seed S          corpus + input seed [2001]\n"
+        "  --mul-fraction F  multiplier fraction [0.5]\n"
+        "  --min-width W     minimum operand wordlength [4]\n"
+        "  --max-width W     maximum operand wordlength [24]\n"
+        "verification:\n"
+        "  --inputs N        random signed input vectors per graph [8]\n"
+        "  --slack PCT       latency relaxation over lambda_min [25]\n"
+        "  --ilp-max-ops N   also run the ILP reference on graphs with\n"
+        "                    <= N ops [0 = off]\n"
+        "  --no-heuristic / --no-two-stage / --no-descending\n"
+        "                    drop an allocator from the cross-check\n"
+        "  --jobs N          worker threads [hardware concurrency]\n";
+    std::exit(code);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    corpus_spec spec;
+    spec.n_ops = 10;
+    spec.count = 50;
+    spec.seed = 2001;
+    verify_options options;
+    double slack_pct = 25.0;
+    std::size_t jobs = 0;
+    std::vector<std::string> graph_files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "mwl_verify: missing value for " << arg << '\n';
+                usage(2);
+            }
+            return argv[++i];
+        };
+        // stoul wraps negatives silently ("-3" -> 1.8e19); reject the
+        // sign up front so bad counts are diagnostics, not aborts.
+        const auto count_value = [&]() -> std::size_t {
+            const std::string text = value();
+            if (!text.empty() && text[0] == '-') {
+                throw std::invalid_argument(text);
+            }
+            return std::stoul(text);
+        };
+        try {
+            if (arg == "--ops") {
+                spec.n_ops = count_value();
+            } else if (arg == "--count") {
+                spec.count = count_value();
+            } else if (arg == "--seed") {
+                spec.seed = std::stoull(value());
+            } else if (arg == "--mul-fraction") {
+                spec.prototype.mul_fraction = std::stod(value());
+            } else if (arg == "--min-width") {
+                spec.prototype.min_width = std::stoi(value());
+            } else if (arg == "--max-width") {
+                spec.prototype.max_width = std::stoi(value());
+            } else if (arg == "--inputs") {
+                options.inputs_per_graph = count_value();
+            } else if (arg == "--slack") {
+                slack_pct = std::stod(value());
+            } else if (arg == "--ilp-max-ops") {
+                options.ilp_max_ops = count_value();
+            } else if (arg == "--no-heuristic") {
+                options.use_heuristic = false;
+            } else if (arg == "--no-two-stage") {
+                options.use_two_stage = false;
+            } else if (arg == "--no-descending") {
+                options.use_descending = false;
+            } else if (arg == "--jobs") {
+                jobs = count_value();
+            } else if (arg == "--graph") {
+                graph_files.push_back(value());
+            } else if (arg == "--help" || arg == "-h") {
+                usage(0);
+            } else {
+                std::cerr << "mwl_verify: unknown option " << arg << '\n';
+                usage(2);
+            }
+        } catch (const std::exception&) {
+            std::cerr << "mwl_verify: bad value for " << arg << '\n';
+            usage(2);
+        }
+    }
+    if (slack_pct < 0.0) {
+        std::cerr << "mwl_verify: slack must be non-negative\n";
+        usage(2);
+    }
+    // Zero vectors or an empty corpus would print the OK banner having
+    // checked nothing; refuse, matching mwl_batch's verify= validation.
+    if (options.inputs_per_graph < 1) {
+        std::cerr << "mwl_verify: --inputs must be >= 1\n";
+        usage(2);
+    }
+    if (graph_files.empty() && spec.count < 1) {
+        std::cerr << "mwl_verify: --count must be >= 1\n";
+        usage(2);
+    }
+    // The simulator's int64 wrap contract holds for widths < 63; an n x m
+    // multiplier produces n + m result bits, so corpus wordlengths must
+    // stay <= 31 for the verdicts to be meaningful.
+    if (spec.prototype.max_width > 31) {
+        std::cerr << "mwl_verify: --max-width must be <= 31 (an n x m "
+                     "multiplier needs n + m < 63 simulable bits)\n";
+        usage(2);
+    }
+    options.seed = spec.seed;
+    options.slack = slack_pct / 100.0;
+
+    try {
+        const sonic_model model;
+        thread_pool pool(jobs);
+        stopwatch clock;
+
+        verify_report report;
+        if (graph_files.empty()) {
+            report = verify_corpus(spec, model, options, &pool);
+        } else {
+            for (std::size_t g = 0; g < graph_files.size(); ++g) {
+                const std::string& path = graph_files[g];
+                std::ifstream in(path);
+                if (!in) {
+                    std::cerr << "mwl_verify: cannot open " << path << '\n';
+                    return 1;
+                }
+                const sequencing_graph graph = parse_graph(in);
+                const int lambda = relaxed_lambda(
+                    min_latency(graph, model), options.slack);
+                report.merge(verify_graph(
+                    graph, path, model, lambda, options,
+                    verify_input_seed(options.seed, g)));
+            }
+        }
+        const double wall = clock.seconds();
+
+        std::cout << "mwl_verify: " << report.graphs << " graphs, "
+                  << report.allocations << " allocations, "
+                  << report.input_vectors << " input vectors, "
+                  << report.value_checks << " value checks in "
+                  << static_cast<long long>(wall * 1e3) << " ms";
+        if (wall > 0.0) {
+            std::cout << " ("
+                      << static_cast<long long>(
+                             static_cast<double>(report.input_vectors) / wall)
+                      << " graph-inputs/s, "
+                      << static_cast<long long>(
+                             static_cast<double>(report.value_checks) / wall)
+                      << " checks/s, " << pool.size() << " threads)";
+        }
+        std::cout << '\n';
+
+        if (!report.ok()) {
+            std::cout << report.counterexamples.size()
+                      << " counterexample(s):\n";
+            for (const counterexample& cx : report.counterexamples) {
+                std::cout << "  " << cx.to_string() << '\n';
+            }
+            std::cout << "FAIL\n";
+            return 1;
+        }
+        std::cout << "OK: reference == datapath sim == RTL interpretation\n";
+        return 0;
+    } catch (const error& e) {
+        std::cerr << "mwl_verify: " << e.what() << '\n';
+        return 1;
+    }
+}
