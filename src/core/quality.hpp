@@ -1,0 +1,157 @@
+// Allocation-quality report extraction and the golden regression gate.
+//
+// Structural tests prove an allocation is *valid*; nothing in the seed
+// suite stopped a refactor from silently making every valid allocation
+// *worse* (more area, more instances, fatter steering fabric). This module
+// closes that hole: `measure_quality_report` runs every enabled allocator
+// on a named workload and extracts the numbers a designer actually ships
+// -- achieved latency, functional-unit area (the paper's objective),
+// register/mux inventory from the RTL netlist, and the extended area --
+// into a `quality_report` that serialises to versioned JSON. Checked-in
+// reports under tests/goldens/ become the golden baseline; `diff_quality`
+// compares a recomputed report against its golden with per-metric
+// tolerances and `render_drift_table` prints the readable per-scenario
+// table the ctest gate and the mwl_scenarios tool show on drift.
+//
+// Every allocator here is deterministic, so the default tolerance is
+// exact; the relative knob exists for intentionally-fuzzy area models.
+
+#ifndef MWL_CORE_QUALITY_HPP
+#define MWL_CORE_QUALITY_HPP
+
+#include "core/datapath.hpp"
+#include "dfg/sequencing_graph.hpp"
+#include "model/hardware_model.hpp"
+#include "report/table.hpp"
+#include "support/error.hpp"
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mwl {
+
+/// A golden file that is not a valid serialised quality_report; `what()`
+/// includes the offending position or key.
+class quality_format_error : public error {
+public:
+    using error::error;
+};
+
+/// Bump when the serialised layout changes incompatibly; parse rejects
+/// files with a different version so stale goldens fail loudly, not by
+/// accidentally comparing renamed fields.
+inline constexpr int quality_format_version = 1;
+
+/// What one allocator achieved on one workload.
+struct quality_metrics {
+    int lambda = 0;   ///< latency constraint the allocator ran under
+    int latency = 0;  ///< achieved makespan (<= lambda)
+    std::size_t fu_count = 0;
+    double fu_area = 0.0; ///< the paper's objective (sum of instance areas)
+    std::size_t register_count = 0;
+    double register_area = 0.0;
+    std::size_t mux_count = 0;
+    double mux_area = 0.0;
+    double ext_area = 0.0; ///< fu + register + mux (extended model)
+
+    friend bool operator==(const quality_metrics&,
+                           const quality_metrics&) = default;
+};
+
+struct allocator_quality {
+    std::string allocator; ///< "dpalloc", "two_stage", "descending", "ilp"
+    quality_metrics metrics;
+
+    friend bool operator==(const allocator_quality&,
+                           const allocator_quality&) = default;
+};
+
+struct quality_options {
+    /// Latency relaxation over lambda_min (the verify harness's default).
+    double slack = 0.25;
+    /// Run the ILP reference on graphs with at most this many operations
+    /// (0 disables it). Only *proven optimal* solutions are recorded, and
+    /// the node cap below is deterministic, so inclusion of the "ilp" row
+    /// is machine-independent.
+    std::size_t ilp_max_ops = 8;
+    std::size_t ilp_max_nodes = 250000;
+    bool use_dpalloc = true;
+    bool use_two_stage = true;
+    bool use_descending = true;
+
+    friend bool operator==(const quality_options&,
+                           const quality_options&) = default;
+};
+
+/// One workload's quality across allocators, plus enough provenance
+/// (graph size, lambda_min, measurement options) that a checker can
+/// recompute it under identical conditions and spot protocol drift.
+struct quality_report {
+    std::string scenario;
+    std::size_t ops = 0;
+    std::size_t edges = 0;
+    int lambda_min = 0;
+    quality_options options;
+    std::vector<allocator_quality> allocators;
+
+    friend bool operator==(const quality_report&,
+                           const quality_report&) = default;
+};
+
+/// Metrics of one allocated datapath: FU inventory from the datapath
+/// itself, register/mux inventory from the RTL netlist it elaborates to.
+[[nodiscard]] quality_metrics measure_quality(const sequencing_graph& graph,
+                                              const hardware_model& model,
+                                              const datapath& path,
+                                              int lambda);
+
+/// Allocate `graph` with every enabled allocator at
+/// relaxed_lambda(lambda_min, options.slack) and measure each result.
+/// Throws `precondition_error` on an empty graph.
+[[nodiscard]] quality_report measure_quality_report(
+    const sequencing_graph& graph, std::string name,
+    const hardware_model& model, const quality_options& options = {});
+
+/// Serialise; `parse_quality_report(to_json(r)) == r`.
+[[nodiscard]] std::string to_json(const quality_report& report);
+
+/// Parse a serialised report. Throws `quality_format_error` on malformed
+/// JSON, unknown keys, or a format_version mismatch.
+[[nodiscard]] quality_report parse_quality_report(const std::string& text);
+
+/// One metric that moved outside its tolerance, golden vs. recomputed.
+struct metric_drift {
+    std::string scenario;
+    std::string allocator; ///< "-" for report-level (structural) drift
+    std::string metric;
+    double expected = 0.0;
+    double actual = 0.0;
+    double allowed = 0.0; ///< absolute tolerance that was applied
+};
+
+struct drift_tolerances {
+    /// Relative tolerance on areas (fu/register/mux/ext), as a fraction.
+    double area_rel = 0.0;
+    /// Absolute tolerance on achieved latency, in control steps.
+    int latency_abs = 0;
+    /// Absolute tolerance on inventory counts (fu/register/mux).
+    int count_abs = 0;
+};
+
+/// Compare a recomputed report against its golden. Structural mismatches
+/// (graph size, lambda_min, options, missing/extra allocators) are
+/// reported as drift rows with allocator "-"; matched allocators are
+/// compared metric by metric under `tol`. Empty result = no drift.
+[[nodiscard]] std::vector<metric_drift> diff_quality(
+    const quality_report& golden, const quality_report& current,
+    const drift_tolerances& tol = {});
+
+/// The readable per-metric drift table the ctest gate and mwl_scenarios
+/// print: one row per drifted metric with expected/actual/allowed.
+[[nodiscard]] table render_drift_table(std::span<const metric_drift> drifts);
+
+} // namespace mwl
+
+#endif // MWL_CORE_QUALITY_HPP

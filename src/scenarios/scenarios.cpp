@@ -1,0 +1,445 @@
+#include "scenarios/scenarios.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mwl {
+namespace {
+
+std::string idx_name(const std::string& stem, int i)
+{
+    return stem + std::to_string(i);
+}
+
+/// One direct-form-I biquad section (shared with the registry's cascade):
+/// y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2, feedback taps wider than
+/// feedforward ones. Returns the op producing the section output.
+op_id add_biquad_section(sequencing_graph& g, op_id in,
+                         const std::string& prefix, int data_width,
+                         int ff_width, int fb_width)
+{
+    const op_id b0 = g.add_operation(
+        op_shape::multiplier(data_width, ff_width), prefix + "b0");
+    const op_id b1 = g.add_operation(
+        op_shape::multiplier(data_width, ff_width), prefix + "b1");
+    const op_id b2 = g.add_operation(
+        op_shape::multiplier(data_width, ff_width - 2), prefix + "b2");
+    const op_id a1 = g.add_operation(
+        op_shape::multiplier(data_width, fb_width), prefix + "a1");
+    const op_id a2 = g.add_operation(
+        op_shape::multiplier(data_width, fb_width - 2), prefix + "a2");
+    if (in.is_valid()) {
+        g.add_dependency(in, b0);
+        g.add_dependency(in, b1);
+        g.add_dependency(in, b2);
+    }
+    const op_id s1 =
+        g.add_operation(op_shape::adder(data_width + 2), prefix + "s1");
+    const op_id s2 =
+        g.add_operation(op_shape::adder(data_width + 2), prefix + "s2");
+    const op_id s3 =
+        g.add_operation(op_shape::adder(data_width + 3), prefix + "s3");
+    const op_id s4 =
+        g.add_operation(op_shape::adder(data_width + 3), prefix + "s4");
+    g.add_dependency(b0, s1);
+    g.add_dependency(b1, s1);
+    g.add_dependency(b2, s2);
+    g.add_dependency(a1, s2);
+    g.add_dependency(s1, s3);
+    g.add_dependency(s2, s3);
+    g.add_dependency(a2, s4);
+    g.add_dependency(s3, s4);
+    return s4;
+}
+
+/// Plane rotation by a constant angle in the 3-multiplier form
+/// (t = c*(a+b); out0 = t + (s-c)*b; out1 = t - (c+s)*a): three
+/// multipliers of coefficient width `coeff_width` and three adders.
+/// Returns the two rotated outputs.
+std::pair<op_id, op_id> add_rotation(sequencing_graph& g, op_id a, op_id b,
+                                     const std::string& prefix,
+                                     int data_width, int coeff_width)
+{
+    const op_id sum =
+        g.add_operation(op_shape::adder(data_width + 1), prefix + "s");
+    g.add_dependency(a, sum);
+    g.add_dependency(b, sum);
+    const op_id t = g.add_operation(
+        op_shape::multiplier(data_width + 1, coeff_width), prefix + "mc");
+    g.add_dependency(sum, t);
+    const op_id ma = g.add_operation(
+        op_shape::multiplier(data_width, coeff_width), prefix + "ma");
+    g.add_dependency(a, ma);
+    const op_id mb = g.add_operation(
+        op_shape::multiplier(data_width, coeff_width), prefix + "mb");
+    g.add_dependency(b, mb);
+    const op_id o0 =
+        g.add_operation(op_shape::adder(data_width + 2), prefix + "o0");
+    g.add_dependency(t, o0);
+    g.add_dependency(mb, o0);
+    const op_id o1 =
+        g.add_operation(op_shape::adder(data_width + 2), prefix + "o1");
+    g.add_dependency(t, o1);
+    g.add_dependency(ma, o1);
+    return {o0, o1};
+}
+
+} // namespace
+
+sequencing_graph make_fir(std::span<const int> coeff_widths, int data_width,
+                          int acc_cap)
+{
+    require(coeff_widths.size() >= 2, "FIR needs at least 2 taps");
+    sequencing_graph g;
+    std::vector<op_id> products;
+    products.reserve(coeff_widths.size());
+    for (std::size_t i = 0; i < coeff_widths.size(); ++i) {
+        products.push_back(g.add_operation(
+            op_shape::multiplier(data_width, coeff_widths[i]),
+            idx_name("tap", static_cast<int>(i))));
+    }
+    op_id acc = products[0];
+    for (std::size_t i = 1; i < products.size(); ++i) {
+        // Accumulator wordlength grows with the number of additions so
+        // far, capped where an error analysis would truncate.
+        const int width =
+            std::min(acc_cap, data_width + static_cast<int>(i));
+        const op_id sum = g.add_operation(op_shape::adder(width),
+                                          idx_name("sum", static_cast<int>(i)));
+        g.add_dependency(acc, sum);
+        g.add_dependency(products[i], sum);
+        acc = sum;
+    }
+    return g;
+}
+
+sequencing_graph make_iir_biquad_cascade(int sections, int data_width)
+{
+    require(sections >= 1, "IIR cascade needs at least 1 section");
+    sequencing_graph g;
+    op_id out = op_id::invalid();
+    for (int s = 0; s < sections; ++s) {
+        // Later sections see an already-shaped signal, so their
+        // coefficients get away with slightly less precision.
+        out = add_biquad_section(g, out, "s" + std::to_string(s + 1) + "_",
+                                 data_width, 10 - 2 * (s % 2),
+                                 14 - 2 * (s % 2));
+    }
+    return g;
+}
+
+sequencing_graph make_lattice(std::span<const int> k_widths, int data_width)
+{
+    require(!k_widths.empty(), "lattice needs at least 1 stage");
+    sequencing_graph g;
+    // f_i = f_{i-1} + k_i * g_{i-1};  g_i = g_{i-1} + k_i * f_{i-1}.
+    // Stage 1 reads the primary inputs (external operands), later stages
+    // read the previous stage's outputs.
+    op_id f = op_id::invalid();
+    op_id gg = op_id::invalid();
+    for (std::size_t i = 0; i < k_widths.size(); ++i) {
+        const std::string p = "st" + std::to_string(i + 1) + "_";
+        const op_id mg = g.add_operation(
+            op_shape::multiplier(data_width, k_widths[i]), p + "kg");
+        const op_id mf = g.add_operation(
+            op_shape::multiplier(data_width, k_widths[i]), p + "kf");
+        if (f.is_valid()) {
+            g.add_dependency(gg, mg);
+            g.add_dependency(f, mf);
+        }
+        const op_id nf =
+            g.add_operation(op_shape::adder(data_width + 1), p + "f");
+        const op_id ng =
+            g.add_operation(op_shape::adder(data_width + 1), p + "g");
+        if (f.is_valid()) {
+            g.add_dependency(f, nf);
+            g.add_dependency(gg, ng);
+        }
+        g.add_dependency(mg, nf);
+        g.add_dependency(mf, ng);
+        f = nf;
+        gg = ng;
+    }
+    return g;
+}
+
+sequencing_graph make_fft_butterflies(int points, int data_width,
+                                      int twiddle_width)
+{
+    require(points >= 2 && (points & (points - 1)) == 0,
+            "FFT size must be a power of two >= 2");
+    sequencing_graph g;
+    // lane[k] is the op currently producing lane k (invalid = primary
+    // input; the first butterfly stage draws external operands instead).
+    std::vector<op_id> lane(static_cast<std::size_t>(points),
+                            op_id::invalid());
+    int width = data_width;
+    int stage = 0;
+    for (int half = points / 2; half >= 1; half /= 2, ++stage) {
+        const int next_width = width + 1; // one growth bit per stage
+        std::vector<op_id> next(lane.size());
+        for (int blk = 0; blk < points; blk += 2 * half) {
+            for (int k = 0; k < half; ++k) {
+                const int ia = blk + k;
+                const int ib = blk + k + half;
+                const std::string p = "s" + std::to_string(stage + 1) + "_" +
+                                      std::to_string(ia) + "_";
+                op_id b = lane[ib];
+                // Non-trivial rotations (everything after the first
+                // stage, upper half of each block) scale the second wing
+                // by a twiddle coefficient first.
+                if (stage > 0 && k >= half / 2) {
+                    const op_id tw = g.add_operation(
+                        op_shape::multiplier(width, twiddle_width),
+                        p + "tw");
+                    if (b.is_valid()) {
+                        g.add_dependency(b, tw);
+                    }
+                    b = tw;
+                }
+                const op_id add =
+                    g.add_operation(op_shape::adder(next_width), p + "a");
+                const op_id sub =
+                    g.add_operation(op_shape::adder(next_width), p + "b");
+                if (lane[ia].is_valid()) {
+                    g.add_dependency(lane[ia], add);
+                    g.add_dependency(lane[ia], sub);
+                }
+                if (b.is_valid()) {
+                    g.add_dependency(b, add);
+                    g.add_dependency(b, sub);
+                }
+                next[static_cast<std::size_t>(ia)] = add;
+                next[static_cast<std::size_t>(ib)] = sub;
+            }
+        }
+        lane = std::move(next);
+        width = next_width;
+    }
+    return g;
+}
+
+sequencing_graph make_dct8(int data_width)
+{
+    sequencing_graph g;
+    // Input butterfly stage on (x0,x7) .. (x3,x4): the classic first step
+    // of every factored 8-point DCT. All eight adders read primary inputs.
+    std::vector<op_id> s(4), d(4);
+    for (int i = 0; i < 4; ++i) {
+        s[static_cast<std::size_t>(i)] = g.add_operation(
+            op_shape::adder(data_width + 1), idx_name("bs", i));
+        d[static_cast<std::size_t>(i)] = g.add_operation(
+            op_shape::adder(data_width + 1), idx_name("bd", i));
+    }
+    // Even half: butterflies on (s0,s3), (s1,s2), then the c4 (= cos pi/4)
+    // rotation recombining the difference pair.
+    const op_id e0 = g.add_operation(op_shape::adder(data_width + 2), "e0");
+    const op_id e1 = g.add_operation(op_shape::adder(data_width + 2), "e1");
+    const op_id e2 = g.add_operation(op_shape::adder(data_width + 2), "e2");
+    const op_id e3 = g.add_operation(op_shape::adder(data_width + 2), "e3");
+    g.add_dependency(s[0], e0);
+    g.add_dependency(s[3], e0);
+    g.add_dependency(s[1], e1);
+    g.add_dependency(s[2], e1);
+    g.add_dependency(s[0], e2);
+    g.add_dependency(s[3], e2);
+    g.add_dependency(s[1], e3);
+    g.add_dependency(s[2], e3);
+    const op_id y0 = g.add_operation(op_shape::adder(data_width + 3), "y0");
+    const op_id y4 = g.add_operation(op_shape::adder(data_width + 3), "y4");
+    g.add_dependency(e0, y0);
+    g.add_dependency(e1, y0);
+    g.add_dependency(e0, y4);
+    g.add_dependency(e1, y4);
+    // c6 rotation on the even difference pair (coefficients of cos 3pi/8
+    // need ~10 bits at 12-bit data).
+    add_rotation(g, e2, e3, "r6_", data_width + 2, 10);
+    // Odd half: two rotations with distinct coefficient precision (c3
+    // wider than c1 in the standard integer approximations), then the
+    // output butterflies and the sqrt(2) scaling multipliers.
+    const auto [r10, r11] =
+        add_rotation(g, d[0], d[3], "r1_", data_width + 1, 12);
+    const auto [r30, r31] =
+        add_rotation(g, d[1], d[2], "r3_", data_width + 1, 9);
+    const op_id o0 = g.add_operation(op_shape::adder(data_width + 4), "o0");
+    const op_id o1 = g.add_operation(op_shape::adder(data_width + 4), "o1");
+    const op_id o2 = g.add_operation(op_shape::adder(data_width + 4), "o2");
+    const op_id o3 = g.add_operation(op_shape::adder(data_width + 4), "o3");
+    g.add_dependency(r10, o0);
+    g.add_dependency(r30, o0);
+    g.add_dependency(r11, o1);
+    g.add_dependency(r31, o1);
+    g.add_dependency(r10, o2);
+    g.add_dependency(r30, o2);
+    g.add_dependency(r11, o3);
+    g.add_dependency(r31, o3);
+    const op_id k1 = g.add_operation(
+        op_shape::multiplier(data_width + 4, 8), "sqrt2_a");
+    g.add_dependency(o1, k1);
+    const op_id k2 = g.add_operation(
+        op_shape::multiplier(data_width + 4, 8), "sqrt2_b");
+    g.add_dependency(o2, k2);
+    return g;
+}
+
+sequencing_graph make_polyphase_decimator(int phases, int taps_per_phase,
+                                          int data_width)
+{
+    require(phases >= 2, "polyphase decimator needs >= 2 phases");
+    require(taps_per_phase >= 2, "polyphase phases need >= 2 taps");
+    sequencing_graph g;
+    std::vector<op_id> phase_out;
+    phase_out.reserve(static_cast<std::size_t>(phases));
+    for (int p = 0; p < phases; ++p) {
+        // Each subfilter sees every M-th coefficient of the prototype
+        // lowpass; precision peaks mid-filter like the full prototype's.
+        std::vector<op_id> products;
+        products.reserve(static_cast<std::size_t>(taps_per_phase));
+        for (int t = 0; t < taps_per_phase; ++t) {
+            const int centre = taps_per_phase / 2;
+            const int coeff_width =
+                std::max(5, 13 - 3 * std::abs(t - centre) - p);
+            products.push_back(g.add_operation(
+                op_shape::multiplier(data_width, coeff_width),
+                "p" + std::to_string(p) + idx_name("t", t)));
+        }
+        op_id acc = products[0];
+        for (int t = 1; t < taps_per_phase; ++t) {
+            const op_id sum = g.add_operation(
+                op_shape::adder(data_width + t),
+                "p" + std::to_string(p) + idx_name("s", t));
+            g.add_dependency(acc, sum);
+            g.add_dependency(products[static_cast<std::size_t>(t)], sum);
+            acc = sum;
+        }
+        phase_out.push_back(acc);
+    }
+    op_id acc = phase_out[0];
+    for (int p = 1; p < phases; ++p) {
+        const op_id sum = g.add_operation(
+            op_shape::adder(data_width + taps_per_phase + p),
+            idx_name("comb", p));
+        g.add_dependency(acc, sum);
+        g.add_dependency(phase_out[static_cast<std::size_t>(p)], sum);
+        acc = sum;
+    }
+    return g;
+}
+
+sequencing_graph make_rgb_to_ycbcr(int data_width)
+{
+    sequencing_graph g;
+    // Per-entry coefficient precision of the BT.601 integer
+    // approximations: the luma row needs the most bits, the chroma
+    // corners the fewest.
+    const int coeff_width[3][3] = {{10, 11, 9}, {8, 9, 10}, {10, 9, 7}};
+    const char* row_name[3] = {"y", "cb", "cr"};
+    for (int r = 0; r < 3; ++r) {
+        std::vector<op_id> products;
+        for (int c = 0; c < 3; ++c) {
+            products.push_back(g.add_operation(
+                op_shape::multiplier(data_width, coeff_width[r][c]),
+                std::string(row_name[r]) + "_m" + std::to_string(c)));
+        }
+        const op_id s1 = g.add_operation(op_shape::adder(data_width + 2),
+                                         std::string(row_name[r]) + "_s1");
+        g.add_dependency(products[0], s1);
+        g.add_dependency(products[1], s1);
+        const op_id s2 = g.add_operation(op_shape::adder(data_width + 3),
+                                         std::string(row_name[r]) + "_s2");
+        g.add_dependency(s1, s2);
+        g.add_dependency(products[2], s2);
+        // The +16 / +128 offset; its second operand is external.
+        const op_id off = g.add_operation(op_shape::adder(data_width + 3),
+                                          std::string(row_name[r]) + "_off");
+        g.add_dependency(s2, off);
+    }
+    return g;
+}
+
+sequencing_graph make_adder_chain(int length, int start_width, int width_cap)
+{
+    require(length >= 1, "adder chain needs at least 1 link");
+    sequencing_graph g;
+    op_id prev = op_id::invalid();
+    for (int i = 0; i < length; ++i) {
+        const op_id link = g.add_operation(
+            op_shape::adder(std::min(width_cap, start_width + i)),
+            idx_name("link", i));
+        if (prev.is_valid()) {
+            g.add_dependency(prev, link);
+        }
+        prev = link;
+    }
+    return g;
+}
+
+std::vector<scenario> all_scenarios()
+{
+    // Fixed order: golden files (tests/goldens/<name>.json) and the tools'
+    // --list output follow it. Append only; renaming invalidates goldens.
+    std::vector<scenario> out;
+    const auto add = [&out](std::string name, std::string description,
+                            sequencing_graph graph) {
+        out.push_back(
+            {std::move(name), std::move(description), std::move(graph)});
+    };
+    const int fir4_w[] = {6, 10, 10, 6};
+    add("fir4", "4-tap direct-form FIR, 10-bit data",
+        make_fir(fir4_w, 10));
+    const int fir8_w[] = {5, 8, 12, 16, 16, 12, 8, 5};
+    add("fir8", "8-tap direct-form FIR, 12-bit data",
+        make_fir(fir8_w, 12));
+    const int fir16_w[] = {4, 5, 6, 8, 10, 12, 14, 16,
+                           16, 14, 12, 10, 8, 6, 5, 4};
+    add("fir16", "16-tap direct-form FIR, 12-bit data",
+        make_fir(fir16_w, 12));
+    add("iir_biquad2", "2-section direct-form-I biquad cascade",
+        make_iir_biquad_cascade(2, 12));
+    const int lattice_k[] = {10, 8, 6, 5};
+    add("lattice4", "4-stage normalised lattice filter",
+        make_lattice(lattice_k, 12));
+    add("fft4", "4-point radix-2 DIT butterfly network",
+        make_fft_butterflies(4, 12, 10));
+    add("fft8", "8-point radix-2 DIT butterfly network",
+        make_fft_butterflies(8, 12, 10));
+    add("dct8", "8-point Loeffler-style DCT",
+        make_dct8(12));
+    add("polyphase_dec2", "2-phase polyphase decimator, 4 taps/phase",
+        make_polyphase_decimator(2, 4, 12));
+    add("rgb2ycbcr", "RGB->YCbCr 3x3 constant matrix conversion",
+        make_rgb_to_ycbcr(10));
+    add("adder_chain16", "16-link consecutive-addition chain stressor",
+        make_adder_chain(16, 8));
+    return out;
+}
+
+std::vector<std::string> scenario_names()
+{
+    std::vector<std::string> names;
+    for (scenario& s : all_scenarios()) {
+        names.push_back(std::move(s.name));
+    }
+    return names;
+}
+
+scenario make_scenario(const std::string& name)
+{
+    std::vector<scenario> all = all_scenarios();
+    for (scenario& s : all) {
+        if (s.name == name) {
+            return std::move(s);
+        }
+    }
+    std::string known;
+    for (const scenario& s : all) {
+        known += known.empty() ? "" : ", ";
+        known += s.name;
+    }
+    require(false, "unknown scenario '" + name + "' (known: " + known + ")");
+    return {}; // unreachable
+}
+
+} // namespace mwl

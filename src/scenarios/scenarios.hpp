@@ -1,0 +1,103 @@
+// Named multiple-wordlength DSP scenario corpus.
+//
+// The paper evaluates DPAlloc on real DSP kernels, not only on random
+// sequencing graphs; this module constructs the canonical fixed-point
+// workloads of that literature programmatically, each with per-signal
+// wordlength annotations in the style an error-analysis tool (Synoptix in
+// the paper's references) would produce: wide signals around
+// impulse-response peaks and feedback paths, narrow signals in the tails.
+// Every scenario is a deterministic function of nothing -- constructing it
+// twice yields byte-identical graphs (tested), so allocation results on
+// them can be locked in as golden quality regressions (core/quality.hpp,
+// tools/mwl_scenarios.cpp).
+//
+// All wordlengths are chosen so every operation's result stays well below
+// 63 bits, keeping each scenario simulable by the bit-true reference and
+// therefore checkable by the differential RTL harness (src/verify/).
+
+#ifndef MWL_SCENARIOS_SCENARIOS_HPP
+#define MWL_SCENARIOS_SCENARIOS_HPP
+
+#include "dfg/sequencing_graph.hpp"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mwl {
+
+/// One named workload: a graph plus the provenance a report needs.
+struct scenario {
+    std::string name;        ///< stable identifier, e.g. "fir8"
+    std::string description; ///< one line for --list and the README
+    sequencing_graph graph;
+};
+
+/// The registry, in a fixed order (golden files are named after entries).
+[[nodiscard]] std::vector<scenario> all_scenarios();
+
+/// Names only, in registry order.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// Construct one scenario by name. Throws `precondition_error` on an
+/// unknown name (the message lists the valid ones).
+[[nodiscard]] scenario make_scenario(const std::string& name);
+
+// ---- parameterised builders (the registry instantiates these) ----------
+
+/// Direct-form FIR: one multiplier per tap (data_width x coeff_widths[i])
+/// feeding a serial accumulation chain whose adder widths grow towards the
+/// output and saturate at `acc_cap` bits.
+[[nodiscard]] sequencing_graph make_fir(std::span<const int> coeff_widths,
+                                        int data_width, int acc_cap = 24);
+
+/// Cascade of `sections` direct-form-I biquads; feedback coefficients
+/// carry more precision than feedforward ones, so each section's five
+/// multipliers have distinct shapes.
+[[nodiscard]] sequencing_graph make_iir_biquad_cascade(int sections,
+                                                       int data_width);
+
+/// Normalised lattice filter: per stage two reflection-coefficient
+/// multipliers (data_width x k_widths[i]) and two adders. k_widths.size()
+/// is the stage count.
+[[nodiscard]] sequencing_graph make_lattice(std::span<const int> k_widths,
+                                            int data_width);
+
+/// Radix-2 decimation-in-time butterfly network over `points` real lanes
+/// (points must be a power of two >= 2): log2(points) stages of
+/// add/subtract butterflies whose widths grow one bit per stage, with a
+/// `twiddle_width`-bit coefficient multiplier in front of the second wing
+/// of every non-trivial rotation (stages after the first, upper half).
+[[nodiscard]] sequencing_graph make_fft_butterflies(int points,
+                                                    int data_width,
+                                                    int twiddle_width);
+
+/// 8-point one-dimensional DCT in the factored (Loeffler-style) form:
+/// an input butterfly stage, three 3-multiplier rotation blocks with
+/// distinct coefficient widths, sqrt(2) scaling multipliers and the
+/// recombination adders.
+[[nodiscard]] sequencing_graph make_dct8(int data_width);
+
+/// M-phase polyphase decimator: `phases` independent FIR subfilters of
+/// `taps_per_phase` taps (distinct per-tap coefficient widths) whose
+/// outputs are combined by a final adder chain.
+[[nodiscard]] sequencing_graph make_polyphase_decimator(int phases,
+                                                        int taps_per_phase,
+                                                        int data_width);
+
+/// RGB -> YCbCr colour-space conversion: a 3x3 constant matrix multiply
+/// (9 multipliers whose coefficient widths follow the standard's
+/// per-entry precision needs) with per-row accumulation and offset adders.
+[[nodiscard]] sequencing_graph make_rgb_to_ycbcr(int data_width);
+
+/// Consecutive-addition chain stressor (the adder-chain shape of
+/// multiplierless constant multiplication, arXiv:1307.8319): a serial
+/// chain of `length` adders whose widths grow one bit per link from
+/// `start_width` up to `width_cap`. The chain *is* the critical path, so
+/// it probes the latency-bound corner of every allocator.
+[[nodiscard]] sequencing_graph make_adder_chain(int length, int start_width,
+                                                int width_cap = 24);
+
+} // namespace mwl
+
+#endif // MWL_SCENARIOS_SCENARIOS_HPP

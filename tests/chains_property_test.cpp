@@ -10,6 +10,8 @@
 #include "support/rng.hpp"
 #include "wcg/chains.hpp"
 
+#include "test_seed.hpp"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -109,7 +111,10 @@ void expect_same_chain(const std::vector<timed_op>& items, int trial)
 TEST(ChainsProperty, SweepReproducesDpOnDenseRandomSets)
 {
     // Heavily overlapping intervals: many ties, small chains.
-    rng random(0xC4A1);
+    const std::uint64_t seed =
+        testing::env_seed("MWL_CHAINS_SEED", 0xC4A1);
+    MWL_TRACE_SEED("MWL_CHAINS_SEED", seed);
+    rng random(seed);
     for (int trial = 0; trial < 400; ++trial) {
         expect_same_chain(random_items(random, 40, 12, 6), trial);
     }
@@ -118,7 +123,10 @@ TEST(ChainsProperty, SweepReproducesDpOnDenseRandomSets)
 TEST(ChainsProperty, SweepReproducesDpOnSparseRandomSets)
 {
     // Spread-out intervals: long chains, few ties.
-    rng random(0xC4A2);
+    const std::uint64_t seed =
+        testing::env_seed("MWL_CHAINS_SEED", 0xC4A2);
+    MWL_TRACE_SEED("MWL_CHAINS_SEED", seed);
+    rng random(seed);
     for (int trial = 0; trial < 400; ++trial) {
         expect_same_chain(random_items(random, 40, 200, 4), trial);
     }
@@ -128,7 +136,10 @@ TEST(ChainsProperty, SweepReproducesDpAroundSmallInputCutover)
 {
     // longest_chain switches implementation around k = 16 and has
     // dedicated k <= 2 fast paths; hammer exactly those sizes.
-    rng random(0xC4A3);
+    const std::uint64_t seed =
+        testing::env_seed("MWL_CHAINS_SEED", 0xC4A3);
+    MWL_TRACE_SEED("MWL_CHAINS_SEED", seed);
+    rng random(seed);
     for (int trial = 0; trial < 800; ++trial) {
         const std::size_t k = random.uniform(0, 18);
         std::vector<timed_op> items;
@@ -144,7 +155,10 @@ TEST(ChainsProperty, SweepReproducesDpWithDuplicateIntervals)
 {
     // Identical (start, latency) pairs on distinct ops exercise every
     // tie-break level.
-    rng random(0xC4A4);
+    const std::uint64_t seed =
+        testing::env_seed("MWL_CHAINS_SEED", 0xC4A4);
+    MWL_TRACE_SEED("MWL_CHAINS_SEED", seed);
+    rng random(seed);
     for (int trial = 0; trial < 400; ++trial) {
         const std::size_t k = random.uniform(0, 24);
         std::vector<timed_op> items;
@@ -158,7 +172,10 @@ TEST(ChainsProperty, SweepReproducesDpWithDuplicateIntervals)
 
 TEST(ChainsProperty, IsChainMatchesPairwiseOracle)
 {
-    rng random(0xC4A5);
+    const std::uint64_t seed =
+        testing::env_seed("MWL_CHAINS_SEED", 0xC4A5);
+    MWL_TRACE_SEED("MWL_CHAINS_SEED", seed);
+    rng random(seed);
     int chains_seen = 0;
     for (int trial = 0; trial < 1000; ++trial) {
         const std::vector<timed_op> items =
@@ -173,7 +190,10 @@ TEST(ChainsProperty, IsChainMatchesPairwiseOracle)
 
 TEST(ChainsProperty, LongestChainIntoReusesCapacity)
 {
-    rng random(0xC4A6);
+    const std::uint64_t seed =
+        testing::env_seed("MWL_CHAINS_SEED", 0xC4A6);
+    MWL_TRACE_SEED("MWL_CHAINS_SEED", seed);
+    rng random(seed);
     chain_scratch scratch;
     std::vector<timed_op> out;
     for (int trial = 0; trial < 100; ++trial) {

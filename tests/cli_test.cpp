@@ -1,0 +1,237 @@
+// Error-path tests for the CLI tools, run against the real binaries
+// (MWL_TOOL_DIR is injected by CMake). Each case pins the exit code and a
+// golden stderr snippet, so diagnostics stay diagnostics: a regression
+// that turns a manifest typo into an uncaught abort, loses the 1-based
+// line number, or shifts exit 2 -> 1 fails here, not in a user's shell.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct run_result {
+    int exit_code = -1;
+    std::string output; ///< stdout + stderr, interleaved
+};
+
+/// Run a tool with stderr folded into stdout and capture both.
+run_result run(const std::string& command)
+{
+    run_result result;
+    FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+    if (pipe == nullptr) {
+        ADD_FAILURE() << "popen failed for: " << command;
+        return result;
+    }
+    std::array<char, 4096> buffer;
+    std::size_t got = 0;
+    while ((got = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+        result.output.append(buffer.data(), got);
+    }
+    const int status = pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+std::string tool(const std::string& name)
+{
+    return std::string(MWL_TOOL_DIR) + "/" + name;
+}
+
+/// Write a manifest into the test's working directory (the build tree).
+std::string write_manifest(const std::string& name, const std::string& text)
+{
+    std::ofstream out(name);
+    out << text;
+    return name;
+}
+
+void expect_fails_with(const std::string& command, int exit_code,
+                       const std::string& snippet)
+{
+    const run_result r = run(command);
+    EXPECT_EQ(r.exit_code, exit_code) << command << "\n" << r.output;
+    EXPECT_NE(r.output.find(snippet), std::string::npos)
+        << command << "\nexpected snippet: " << snippet << "\ngot:\n"
+        << r.output;
+}
+
+// ------------------------------------------------------------ mwl_batch --
+
+TEST(CliBatch, MalformedManifestLineReportsItsLineNumber)
+{
+    const std::string manifest = write_manifest(
+        "cli_test_bad_line.manifest",
+        "# comment line\n"
+        "corpus ops=4 count=1\n"
+        "graph\n");
+    expect_fails_with(tool("mwl_batch") + " " + manifest, 2,
+                      "manifest line 3: expected 'graph FILE ...'");
+}
+
+TEST(CliBatch, UnknownKeywordReportsItsLineNumber)
+{
+    const std::string manifest = write_manifest(
+        "cli_test_bad_keyword.manifest", "corpus ops=4 count=1\nfrob x\n");
+    expect_fails_with(tool("mwl_batch") + " " + manifest, 2,
+                      "manifest line 2: unknown keyword 'frob'");
+}
+
+TEST(CliBatch, BadNumericDirectiveReportsItsLineNumber)
+{
+    const std::string manifest = write_manifest(
+        "cli_test_bad_number.manifest", "corpus ops=4 count=1 lambda=abc\n");
+    expect_fails_with(tool("mwl_batch") + " " + manifest, 2,
+                      "manifest line 1: bad numeric value in 'lambda=abc'");
+}
+
+TEST(CliBatch, SweepAndVerifyAreMutuallyExclusive)
+{
+    const std::string manifest = write_manifest(
+        "cli_test_conflict.manifest",
+        "corpus ops=4 count=1 sweep=20 verify=4\n");
+    expect_fails_with(tool("mwl_batch") + " " + manifest, 2,
+                      "sweep= and verify= are mutually exclusive");
+}
+
+TEST(CliBatch, MissingGraphFileReportsItsLineNumber)
+{
+    const std::string manifest = write_manifest(
+        "cli_test_missing_graph.manifest",
+        "graph cli_test_does_not_exist.mwl\n");
+    expect_fails_with(tool("mwl_batch") + " " + manifest, 2,
+                      "manifest line 1: cannot open graph file");
+}
+
+TEST(CliBatch, EmptyManifestIsAnError)
+{
+    const std::string manifest =
+        write_manifest("cli_test_empty.manifest", "# nothing here\n");
+    expect_fails_with(tool("mwl_batch") + " " + manifest, 2,
+                      "manifest has no entries");
+}
+
+TEST(CliBatch, UnknownOptionExitsTwo)
+{
+    expect_fails_with(tool("mwl_batch") + " --frobnicate", 2,
+                      "unknown option --frobnicate");
+}
+
+TEST(CliBatch, NegativeJobsIsDiagnosedNotWrapped)
+{
+    // stoul would silently wrap "-2" to ~1.8e19 threads.
+    expect_fails_with(tool("mwl_batch") + " --jobs -2 -", 2,
+                      "bad numeric value '-2' for --jobs");
+}
+
+// ----------------------------------------------------------- mwl_verify --
+
+TEST(CliVerify, ZeroInputsIsRejected)
+{
+    expect_fails_with(tool("mwl_verify") + " --inputs 0", 2,
+                      "--inputs must be >= 1");
+}
+
+TEST(CliVerify, ZeroCountIsRejected)
+{
+    expect_fails_with(tool("mwl_verify") + " --count 0", 2,
+                      "--count must be >= 1");
+}
+
+TEST(CliVerify, OverwideCorpusIsRejected)
+{
+    expect_fails_with(tool("mwl_verify") + " --max-width 40", 2,
+                      "--max-width must be <= 31");
+}
+
+TEST(CliVerify, NegativeSlackIsRejected)
+{
+    expect_fails_with(tool("mwl_verify") + " --slack -10", 2,
+                      "slack must be non-negative");
+}
+
+TEST(CliVerify, MissingValueIsDiagnosed)
+{
+    expect_fails_with(tool("mwl_verify") + " --ops", 2,
+                      "missing value for --ops");
+}
+
+TEST(CliVerify, UnknownOptionExitsTwo)
+{
+    expect_fails_with(tool("mwl_verify") + " --wibble", 2,
+                      "unknown option --wibble");
+}
+
+// -------------------------------------------------------- mwl_scenarios --
+
+TEST(CliScenarios, ModeIsRequired)
+{
+    expect_fails_with(tool("mwl_scenarios"), 2, "pick a mode");
+}
+
+TEST(CliScenarios, ModesAreMutuallyExclusive)
+{
+    expect_fails_with(tool("mwl_scenarios") + " --list --emit", 2,
+                      "modes list and emit are mutually exclusive");
+}
+
+TEST(CliScenarios, UnknownScenarioIsAUsageErrorNamingTheValidOnes)
+{
+    const run_result r =
+        run(tool("mwl_scenarios") + " --list --scenario no_such");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("unknown scenario 'no_such'"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("fir8"), std::string::npos) << r.output;
+}
+
+TEST(CliScenarios, OutOfRangeNumericValueIsDiagnosedNotAborted)
+{
+    // std::stod throws out_of_range here; that must surface as the usual
+    // exit-2 diagnostic, not an uncaught abort.
+    expect_fails_with(tool("mwl_scenarios") + " --list --slack 1e999", 2,
+                      "bad value for --slack");
+    expect_fails_with(tool("mwl_scenarios") + " --check x --tol 1e999", 2,
+                      "bad value for --tol");
+}
+
+TEST(CliScenarios, CorruptedGoldenIsMalformedInputNotDrift)
+{
+    // Exit-code contract: 1 means the allocation quality really moved;
+    // a golden that cannot be parsed is malformed input -> exit 2.
+    std::filesystem::create_directories("cli_test_corrupt_goldens");
+    std::ofstream("cli_test_corrupt_goldens/fir4.json") << "{\"trunc";
+    const run_result r = run(tool("mwl_scenarios") +
+                             " --check cli_test_corrupt_goldens"
+                             " --scenario fir4");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("fir4.json"), std::string::npos) << r.output;
+}
+
+TEST(CliScenarios, CheckAgainstMissingGoldensFails)
+{
+    const run_result r = run(tool("mwl_scenarios") +
+                             " --check cli_test_no_such_dir"
+                             " --scenario fir4");
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("missing"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+TEST(CliScenarios, ListSucceedsAndNamesEveryScenario)
+{
+    const run_result r = run(tool("mwl_scenarios") + " --list");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    for (const char* name : {"fir8", "dct8", "adder_chain16"}) {
+        EXPECT_NE(r.output.find(name), std::string::npos) << r.output;
+    }
+}
+
+} // namespace

@@ -15,9 +15,12 @@
 #include "support/rng.hpp"
 #include "tgff/corpus.hpp"
 
+#include "test_seed.hpp"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 namespace mwl {
 namespace {
@@ -100,7 +103,9 @@ bool mutate(datapath& path, const sequencing_graph& graph, rng& random)
 TEST(Fuzz, ValidatorOrSimulatorCatchesHarmfulMutations)
 {
     const sonic_model model;
-    rng random(0xF00D);
+    const std::uint64_t seed = testing::env_seed("MWL_FUZZ_SEED", 0xF00D);
+    MWL_TRACE_SEED("MWL_FUZZ_SEED", seed);
+    rng random(seed);
     const auto corpus = make_corpus(8, 6, model, 1234);
     std::size_t mutations = 0;
     std::size_t rejected = 0;
@@ -147,9 +152,15 @@ TEST(Fuzz, ValidatorOrSimulatorCatchesHarmfulMutations)
 TEST(Fuzz, ValidatorAcceptsAllGeneratedDatapathsAcrossSeeds)
 {
     // Broad seed sweep: the validator must accept every genuine DPAlloc
-    // output (no false positives), across sizes and slacks.
+    // output (no false positives), across sizes and slacks. Setting
+    // MWL_FUZZ_SEED narrows the sweep to that one seed for reproduction.
     const sonic_model model;
-    for (const std::uint64_t seed : {1ull, 2ull, 3ull, 5ull, 8ull}) {
+    std::vector<std::uint64_t> seeds = {1, 2, 3, 5, 8};
+    if (std::getenv("MWL_FUZZ_SEED") != nullptr) {
+        seeds = {testing::env_seed("MWL_FUZZ_SEED", 0)};
+    }
+    for (const std::uint64_t seed : seeds) {
+        MWL_TRACE_SEED("MWL_FUZZ_SEED", seed);
         const auto corpus =
             make_corpus(4 + seed % 9, 4, model, seed * 1000);
         for (const corpus_entry& e : corpus) {

@@ -6,9 +6,15 @@
 #include "dfg/analysis.hpp"
 #include "model/hardware_model.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "tgff/corpus.hpp"
 
+#include "test_seed.hpp"
+
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
 
 namespace mwl {
 namespace {
@@ -170,6 +176,149 @@ TEST(Pareto, FrontierAdmitsUsesStrictImprovementWithEpsilon)
     EXPECT_FALSE(frontier_admits(frontier, 100.0));
     EXPECT_FALSE(frontier_admits(frontier, 100.0 - 1e-12)); // within eps
     EXPECT_TRUE(frontier_admits(frontier, 99.0));
+}
+
+// ---- property tests: frontier invariants over random streams / sweeps ----
+
+/// Point `a` dominates `b`: no worse in both coordinates, better in one.
+bool dominates(const pareto_point& a, const pareto_point& b)
+{
+    return a.latency <= b.latency &&
+           a.area <= b.area + pareto_area_epsilon &&
+           (a.latency < b.latency || a.area < b.area - pareto_area_epsilon);
+}
+
+void expect_frontier_invariants(const std::vector<pareto_point>& frontier)
+{
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GT(frontier[i].lambda, frontier[i - 1].lambda);
+        EXPECT_GT(frontier[i].latency, frontier[i - 1].latency);
+        EXPECT_LT(frontier[i].area,
+                  frontier[i - 1].area - pareto_area_epsilon);
+    }
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        for (std::size_t j = 0; j < frontier.size(); ++j) {
+            if (i != j) {
+                EXPECT_FALSE(dominates(frontier[i], frontier[j]))
+                    << "frontier point " << i << " dominates " << j;
+            }
+        }
+    }
+}
+
+/// A random sweep-shaped stream: lambdas strictly ascend, achieved latency
+/// and area are arbitrary (the heuristic makes no promise per lambda).
+std::vector<pareto_point> random_stream(rng& random)
+{
+    std::vector<pareto_point> stream;
+    int lambda = random.uniform_int(1, 5);
+    const std::size_t n = random.uniform(0, 40);
+    for (std::size_t i = 0; i < n; ++i) {
+        stream.push_back(make_point(
+            lambda, random.uniform_int(1, 30),
+            static_cast<double>(random.uniform_int(1, 400)) / 4.0));
+        lambda += random.uniform_int(1, 3);
+    }
+    return stream;
+}
+
+std::vector<pareto_point> build_serial(
+    const std::vector<pareto_point>& stream)
+{
+    std::vector<pareto_point> frontier;
+    for (const pareto_point& p : stream) {
+        if (frontier_admits(frontier, p.area)) {
+            frontier_insert(frontier, p);
+        }
+    }
+    return frontier;
+}
+
+TEST(ParetoProperty, SerialInsertionYieldsNoDominatedPoint)
+{
+    const std::uint64_t seed =
+        mwl::testing::env_seed("MWL_PARETO_SEED", 0x9A12);
+    MWL_TRACE_SEED("MWL_PARETO_SEED", seed);
+    rng random(seed);
+    for (int trial = 0; trial < 200; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        expect_frontier_invariants(build_serial(random_stream(random)));
+    }
+}
+
+TEST(ParetoProperty, ChunkedMergeReproducesSerialInsertion)
+{
+    // The parallel sweep's correctness argument in miniature: partition a
+    // stream into contiguous chunks, build each chunk's frontier
+    // independently, and dominance-merge in order -- the result must be
+    // byte-for-byte the serial frontier, for every random partition.
+    const std::uint64_t seed =
+        mwl::testing::env_seed("MWL_PARETO_SEED", 0x9A13);
+    MWL_TRACE_SEED("MWL_PARETO_SEED", seed);
+    rng random(seed);
+    for (int trial = 0; trial < 200; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        const std::vector<pareto_point> stream = random_stream(random);
+        const std::vector<pareto_point> serial = build_serial(stream);
+
+        std::vector<pareto_point> merged;
+        std::size_t at = 0;
+        while (at < stream.size()) {
+            const std::size_t len =
+                random.uniform(1, stream.size() - at);
+            const std::vector<pareto_point> chunk(
+                stream.begin() + static_cast<std::ptrdiff_t>(at),
+                stream.begin() + static_cast<std::ptrdiff_t>(at + len));
+            merge_frontiers(merged, build_serial(chunk));
+            at += len;
+        }
+        ASSERT_EQ(merged.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(merged[i].lambda, serial[i].lambda);
+            EXPECT_EQ(merged[i].latency, serial[i].latency);
+            EXPECT_DOUBLE_EQ(merged[i].area, serial[i].area);
+        }
+        expect_frontier_invariants(merged);
+    }
+}
+
+TEST(ParetoProperty, RealSweepsSatisfyInvariantsAndMatchReconstruction)
+{
+    // End to end on real allocations: the sweep's frontier must (a) hold
+    // the invariants, (b) equal the frontier rebuilt from per-lambda
+    // dpalloc results through frontier_admits/frontier_insert alone.
+    const std::uint64_t seed =
+        mwl::testing::env_seed("MWL_PARETO_SEED", 0x9A14);
+    MWL_TRACE_SEED("MWL_PARETO_SEED", seed);
+    const sonic_model model;
+    pareto_options opts;
+    opts.max_slack = 0.3;
+    opts.patience = 1 << 20; // no early stop: cover the whole range
+    const auto corpus = make_corpus(9, 6, model, seed);
+    for (const corpus_entry& e : corpus) {
+        const auto frontier = pareto_sweep(e.graph, model, opts);
+        expect_frontier_invariants(frontier);
+        EXPECT_EQ(frontier.front().lambda, e.lambda_min);
+
+        std::vector<pareto_point> rebuilt;
+        const int lambda_max = static_cast<int>(std::ceil(
+            static_cast<double>(e.lambda_min) * (1.0 + opts.max_slack)));
+        for (int lambda = e.lambda_min; lambda <= lambda_max; ++lambda) {
+            dpalloc_result r = dpalloc(e.graph, model, lambda);
+            pareto_point p = make_point(lambda, r.path.latency,
+                                        r.path.total_area);
+            EXPECT_LE(p.latency, lambda);
+            if (frontier_admits(rebuilt, p.area)) {
+                frontier_insert(rebuilt, std::move(p));
+            }
+        }
+        ASSERT_EQ(frontier.size(), rebuilt.size());
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+            EXPECT_EQ(frontier[i].lambda, rebuilt[i].lambda);
+            EXPECT_EQ(frontier[i].latency, rebuilt[i].latency);
+            EXPECT_DOUBLE_EQ(frontier[i].area, rebuilt[i].area);
+        }
+    }
 }
 
 TEST(Pareto, UniformModelFrontierIsSinglePointWhenNoTradeExists)

@@ -1,0 +1,99 @@
+// The golden allocation-quality regression gate (`ctest -L scenarios`).
+//
+// For every named scenario, recompute the quality report under the
+// protocol recorded in its checked-in golden (tests/goldens/<name>.json)
+// and fail -- printing the readable per-metric drift table -- if any
+// allocator's area, latency, or FU/register/mux inventory moved. The
+// allocators are deterministic, so the comparison is exact; an
+// *intentional* quality change is shipped by refreshing the goldens:
+//
+//   ./build/mwl_scenarios --update-goldens tests/goldens
+//
+// and justifying the diff in the commit message (README: "Scenario corpus
+// & quality goldens"). MWL_GOLDEN_DIR is injected by CMake and points at
+// the source tree's tests/goldens.
+
+#include "core/quality.hpp"
+#include "model/hardware_model.hpp"
+#include "scenarios/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace mwl {
+namespace {
+
+std::filesystem::path golden_dir()
+{
+    return std::filesystem::path(MWL_GOLDEN_DIR);
+}
+
+std::string slurp(const std::filesystem::path& path)
+{
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+TEST(ScenarioGoldens, EveryScenarioHasAGolden)
+{
+    for (const scenario& s : all_scenarios()) {
+        EXPECT_TRUE(
+            std::filesystem::exists(golden_dir() / (s.name + ".json")))
+            << "missing golden for " << s.name
+            << "; create it with: mwl_scenarios --update-goldens "
+               "tests/goldens";
+    }
+}
+
+TEST(ScenarioGoldens, NoStrayGoldenFiles)
+{
+    // A golden whose scenario was renamed or removed would silently stop
+    // gating anything; fail instead.
+    std::set<std::string> names;
+    for (const scenario& s : all_scenarios()) {
+        names.insert(s.name + ".json");
+    }
+    for (const auto& entry : std::filesystem::directory_iterator(
+             golden_dir())) {
+        EXPECT_TRUE(names.count(entry.path().filename().string()) == 1)
+            << "stray golden " << entry.path()
+            << " matches no registered scenario";
+    }
+}
+
+TEST(ScenarioGoldens, AllocationQualityMatchesTheGoldens)
+{
+    const sonic_model model;
+    std::vector<metric_drift> drifts;
+    for (const scenario& s : all_scenarios()) {
+        const std::filesystem::path path = golden_dir() / (s.name + ".json");
+        if (!std::filesystem::exists(path)) {
+            continue; // EveryScenarioHasAGolden already fails the suite
+        }
+        const quality_report golden = parse_quality_report(slurp(path));
+        // Recompute under the golden's own recorded options, so the gate
+        // cannot drift apart from the goldens' measurement protocol.
+        const quality_report current =
+            measure_quality_report(s.graph, s.name, model, golden.options);
+        const std::vector<metric_drift> delta = diff_quality(golden, current);
+        drifts.insert(drifts.end(), delta.begin(), delta.end());
+    }
+    if (!drifts.empty()) {
+        std::ostringstream rendered;
+        render_drift_table(drifts).print(rendered);
+        FAIL() << "allocation quality drifted from tests/goldens ("
+               << drifts.size() << " metric(s)):\n"
+               << rendered.str()
+               << "If intentional, refresh with: mwl_scenarios "
+                  "--update-goldens tests/goldens";
+    }
+}
+
+} // namespace
+} // namespace mwl

@@ -1,0 +1,265 @@
+// Unit tests for the named DSP scenario corpus (src/scenarios/) and the
+// allocation-quality report layer (core/quality.hpp): registry shape,
+// deterministic construction, simulability bounds, JSON round-trip, and
+// the drift detector that powers the golden gate.
+
+#include "core/dpalloc.hpp"
+#include "core/quality.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "io/graph_io.hpp"
+#include "model/hardware_model.hpp"
+#include "scenarios/scenarios.hpp"
+#include "support/error.hpp"
+#include "tgff/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mwl {
+namespace {
+
+TEST(Scenarios, RegistryHasAtLeastEightUniquelyNamedEntries)
+{
+    const std::vector<scenario> all = all_scenarios();
+    EXPECT_GE(all.size(), 8u);
+    std::set<std::string> names;
+    for (const scenario& s : all) {
+        EXPECT_TRUE(names.insert(s.name).second)
+            << "duplicate scenario name " << s.name;
+        EXPECT_FALSE(s.description.empty()) << s.name;
+        EXPECT_FALSE(s.graph.empty()) << s.name;
+    }
+    EXPECT_EQ(scenario_names().size(), all.size());
+}
+
+TEST(Scenarios, ConstructionIsDeterministic)
+{
+    // Goldens can only regress quality if the workloads themselves are a
+    // fixed point: two constructions must be byte-identical.
+    const std::vector<scenario> first = all_scenarios();
+    const std::vector<scenario> second = all_scenarios();
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].name, second[i].name);
+        EXPECT_EQ(write_graph(first[i].graph), write_graph(second[i].graph));
+        EXPECT_EQ(graph_fingerprint(first[i].graph),
+                  graph_fingerprint(second[i].graph));
+    }
+}
+
+TEST(Scenarios, MakeScenarioByNameMatchesRegistry)
+{
+    for (const scenario& s : all_scenarios()) {
+        const scenario by_name = make_scenario(s.name);
+        EXPECT_EQ(write_graph(by_name.graph), write_graph(s.graph));
+    }
+}
+
+TEST(Scenarios, UnknownNameThrowsAndListsTheValidOnes)
+{
+    try {
+        static_cast<void>(make_scenario("no_such_kernel"));
+        FAIL() << "expected precondition_error";
+    } catch (const precondition_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("no_such_kernel"), std::string::npos);
+        EXPECT_NE(what.find("fir8"), std::string::npos);
+    }
+}
+
+TEST(Scenarios, EveryOperationStaysSimulable)
+{
+    // The differential harness compares int64 values; an n x m multiplier
+    // produces n + m result bits, so every scenario must keep results
+    // comfortably below 63 bits.
+    for (const scenario& s : all_scenarios()) {
+        for (const op_id o : s.graph.all_ops()) {
+            const op_shape& shape = s.graph.shape(o);
+            const int result_bits =
+                shape.kind() == op_kind::mul
+                    ? shape.width_a() + shape.width_b()
+                    : shape.width_a() + 1;
+            EXPECT_LT(result_bits, 63) << s.name << " op " << o.value();
+        }
+    }
+}
+
+TEST(Scenarios, EveryScenarioAllocatesValidatorClean)
+{
+    const sonic_model model;
+    const quality_options options;
+    for (const scenario& s : all_scenarios()) {
+        const int lambda = relaxed_lambda(min_latency(s.graph, model),
+                                          options.slack);
+        const dpalloc_result r = dpalloc(s.graph, model, lambda);
+        EXPECT_TRUE(validate_datapath(s.graph, model, r.path, lambda).empty())
+            << s.name;
+    }
+}
+
+TEST(Quality, MetricsMatchTheDatapathInventory)
+{
+    const sonic_model model;
+    const scenario s = make_scenario("fir4");
+    const int lambda = relaxed_lambda(min_latency(s.graph, model), 0.25);
+    const dpalloc_result r = dpalloc(s.graph, model, lambda);
+    const quality_metrics m = measure_quality(s.graph, model, r.path, lambda);
+    EXPECT_EQ(m.lambda, lambda);
+    EXPECT_EQ(m.latency, r.path.latency);
+    EXPECT_EQ(m.fu_count, r.path.instances.size());
+    EXPECT_DOUBLE_EQ(m.fu_area, r.path.total_area);
+    EXPECT_GT(m.register_count, 0u);
+    EXPECT_GT(m.register_area, 0.0);
+    EXPECT_DOUBLE_EQ(m.ext_area, m.fu_area + m.register_area + m.mux_area);
+}
+
+TEST(Quality, ReportCoversEveryEnabledAllocator)
+{
+    const sonic_model model;
+    const scenario s = make_scenario("fir4"); // 7 ops: ILP is tractable
+    const quality_report report =
+        measure_quality_report(s.graph, s.name, model);
+    ASSERT_EQ(report.allocators.size(), 4u);
+    EXPECT_EQ(report.allocators[0].allocator, "dpalloc");
+    EXPECT_EQ(report.allocators[1].allocator, "two_stage");
+    EXPECT_EQ(report.allocators[2].allocator, "descending");
+    EXPECT_EQ(report.allocators[3].allocator, "ilp");
+    EXPECT_EQ(report.ops, s.graph.size());
+    EXPECT_EQ(report.edges, s.graph.edge_count());
+    // The ILP row is a proven optimum: no heuristic may beat it.
+    const double optimal = report.allocators[3].metrics.fu_area;
+    for (const allocator_quality& a : report.allocators) {
+        EXPECT_GE(a.metrics.fu_area, optimal - 1e-9) << a.allocator;
+        EXPECT_LE(a.metrics.latency, a.metrics.lambda) << a.allocator;
+    }
+}
+
+TEST(Quality, JsonRoundTripIsExact)
+{
+    const sonic_model model;
+    for (const char* name : {"fir4", "rgb2ycbcr"}) {
+        const scenario s = make_scenario(name);
+        const quality_report report =
+            measure_quality_report(s.graph, s.name, model);
+        const quality_report parsed = parse_quality_report(to_json(report));
+        EXPECT_EQ(parsed, report) << name;
+    }
+}
+
+TEST(Quality, ParseRejectsMalformedAndMismatchedInput)
+{
+    EXPECT_THROW(static_cast<void>(parse_quality_report("{\"x\": ")),
+                 quality_format_error);
+    EXPECT_THROW(static_cast<void>(parse_quality_report("[1, 2]")),
+                 quality_format_error);
+    // A version bump must fail loudly, naming the refresh command.
+    try {
+        static_cast<void>(parse_quality_report(
+            "{\"format_version\": 999, \"scenario\": \"x\"}"));
+        FAIL() << "expected quality_format_error";
+    } catch (const quality_format_error& e) {
+        EXPECT_NE(std::string(e.what()).find("--update-goldens"),
+                  std::string::npos);
+    }
+}
+
+quality_report tiny_report()
+{
+    quality_report r;
+    r.scenario = "tiny";
+    r.ops = 3;
+    r.edges = 2;
+    r.lambda_min = 5;
+    allocator_quality a;
+    a.allocator = "dpalloc";
+    a.metrics.lambda = 6;
+    a.metrics.latency = 6;
+    a.metrics.fu_count = 2;
+    a.metrics.fu_area = 100.0;
+    a.metrics.register_count = 3;
+    a.metrics.register_area = 12.0;
+    a.metrics.mux_count = 1;
+    a.metrics.mux_area = 4.0;
+    a.metrics.ext_area = 116.0;
+    r.allocators.push_back(a);
+    return r;
+}
+
+TEST(Quality, DiffIsEmptyForIdenticalReports)
+{
+    const quality_report r = tiny_report();
+    EXPECT_TRUE(diff_quality(r, r).empty());
+}
+
+TEST(Quality, DiffPinpointsTheDriftedMetric)
+{
+    const quality_report golden = tiny_report();
+    quality_report current = golden;
+    current.allocators[0].metrics.fu_area = 110.0;
+    current.allocators[0].metrics.ext_area = 126.0;
+    const std::vector<metric_drift> drifts = diff_quality(golden, current);
+    ASSERT_EQ(drifts.size(), 2u);
+    EXPECT_EQ(drifts[0].metric, "fu_area");
+    EXPECT_EQ(drifts[0].allocator, "dpalloc");
+    EXPECT_DOUBLE_EQ(drifts[0].expected, 100.0);
+    EXPECT_DOUBLE_EQ(drifts[0].actual, 110.0);
+    EXPECT_EQ(drifts[1].metric, "ext_area");
+}
+
+TEST(Quality, DiffRespectsPerMetricTolerances)
+{
+    const quality_report golden = tiny_report();
+    quality_report current = golden;
+    current.allocators[0].metrics.fu_area = 109.0;
+    current.allocators[0].metrics.ext_area = 125.0;
+    current.allocators[0].metrics.latency = 7;
+    current.allocators[0].metrics.register_count = 4;
+    drift_tolerances tol;
+    tol.area_rel = 0.10;   // 10% on areas: both moves admitted
+    tol.latency_abs = 1;   // one step of latency admitted
+    tol.count_abs = 1;     // one extra register admitted
+    EXPECT_TRUE(diff_quality(golden, current, tol).empty());
+    tol.area_rel = 0.05;
+    const auto drifts = diff_quality(golden, current, tol);
+    ASSERT_EQ(drifts.size(), 2u); // both areas outside 5%
+    EXPECT_EQ(drifts[0].metric, "fu_area");
+}
+
+TEST(Quality, DiffReportsMissingAndExtraAllocators)
+{
+    const quality_report golden = tiny_report();
+    quality_report current = golden;
+    current.allocators[0].allocator = "renamed";
+    const auto drifts = diff_quality(golden, current);
+    ASSERT_EQ(drifts.size(), 2u);
+    EXPECT_EQ(drifts[0].allocator, "dpalloc");
+    EXPECT_EQ(drifts[0].metric, "present");
+    EXPECT_EQ(drifts[1].allocator, "renamed");
+}
+
+TEST(Quality, DiffReportsStructuralDrift)
+{
+    const quality_report golden = tiny_report();
+    quality_report current = golden;
+    current.ops = 4;
+    current.lambda_min = 6;
+    const auto drifts = diff_quality(golden, current);
+    ASSERT_EQ(drifts.size(), 2u);
+    EXPECT_EQ(drifts[0].allocator, "-");
+    EXPECT_EQ(drifts[0].metric, "ops");
+    EXPECT_EQ(drifts[1].metric, "lambda_min");
+}
+
+TEST(Quality, EmptyGraphIsRejected)
+{
+    const sonic_model model;
+    const sequencing_graph empty;
+    EXPECT_THROW(
+        static_cast<void>(measure_quality_report(empty, "empty", model)),
+        precondition_error);
+}
+
+} // namespace
+} // namespace mwl

@@ -1,0 +1,63 @@
+// Differential value checks over the named scenario corpus: quality
+// goldens prove the allocations did not get *worse*; this suite proves
+// they stayed *correct* -- for every scenario and every allocator,
+// reference_evaluate == simulate_datapath == RTL interpretation on random
+// signed inputs (the same harness mwl_verify runs on random tgff graphs,
+// pointed at the real DSP workloads). Labeled `scenarios` + `slow`.
+
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "scenarios/scenarios.hpp"
+#include "tgff/corpus.hpp"
+#include "verify/differential.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwl {
+namespace {
+
+TEST(ScenarioVerify, EveryAllocatorIsValueCorrectOnEveryScenario)
+{
+    const sonic_model model;
+    verify_options options;
+    options.inputs_per_graph = 6;
+    options.ilp_max_ops = 8; // ILP joins on the small kernels
+    const std::vector<scenario> scenarios = all_scenarios();
+    verify_report report;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const scenario& s = scenarios[i];
+        const int lambda =
+            relaxed_lambda(min_latency(s.graph, model), options.slack);
+        report.merge(verify_graph(s.graph, s.name, model, lambda, options,
+                                  verify_input_seed(options.seed, i)));
+    }
+    EXPECT_EQ(report.graphs, scenarios.size());
+    EXPECT_GT(report.value_checks, 0u);
+    for (const counterexample& cx : report.counterexamples) {
+        ADD_FAILURE() << cx.to_string();
+    }
+}
+
+TEST(ScenarioVerify, ZeroSlackCornerIsValueCorrect)
+{
+    // lambda = lambda_min is the allocator's tightest corner (the
+    // adder-chain stressor exists exactly for it); verify it separately
+    // with a different input stream.
+    const sonic_model model;
+    verify_options options;
+    options.inputs_per_graph = 4;
+    options.slack = 0.0;
+    options.seed = 77;
+    for (const char* name : {"adder_chain16", "fir8", "fft4"}) {
+        const scenario s = make_scenario(name);
+        const verify_report report =
+            verify_graph(s.graph, s.name, model,
+                         min_latency(s.graph, model), options);
+        for (const counterexample& cx : report.counterexamples) {
+            ADD_FAILURE() << cx.to_string();
+        }
+    }
+}
+
+} // namespace
+} // namespace mwl

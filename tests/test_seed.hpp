@@ -1,0 +1,46 @@
+// Seed plumbing for the randomized suites.
+//
+// Every property/fuzz test draws its RNG seed through `env_seed` and
+// opens with MWL_TRACE_SEED, so (a) any assertion failure names the seed
+// and the environment variable that replays it, and (b) exporting that
+// variable reruns the exact failing stream:
+//
+//   MWL_CHAINS_SEED=0xC4A1 ./chains_property_test
+
+#ifndef MWL_TESTS_TEST_SEED_HPP
+#define MWL_TESTS_TEST_SEED_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mwl::testing {
+
+/// The seed in `var` (decimal or 0x-hex), or `fallback` when unset.
+/// Terminates with a diagnostic on an unparseable value -- a typo must
+/// not silently fall back and "reproduce" a different run.
+inline std::uint64_t env_seed(const char* var, std::uint64_t fallback)
+{
+    const char* text = std::getenv(var);
+    if (text == nullptr || *text == '\0') {
+        return fallback;
+    }
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s: unparseable seed '%s'\n", var, text);
+        std::abort();
+    }
+    return seed;
+}
+
+} // namespace mwl::testing
+
+/// Attach the seed to every assertion inside the current scope.
+#define MWL_TRACE_SEED(var, seed)                                           \
+    SCOPED_TRACE(std::string("rng seed ") + std::to_string(seed) +          \
+                 " (reproduce with " + (var) + "=" + std::to_string(seed) + \
+                 ")")
+
+#endif // MWL_TESTS_TEST_SEED_HPP

@@ -1,0 +1,319 @@
+// mwl_scenarios -- named DSP scenario corpus driver and golden
+// allocation-quality gate.
+//
+// The scenario registry (src/scenarios/) holds deterministic named
+// multiple-wordlength DSP kernels; this tool measures every allocator's
+// quality on them (core/quality.hpp) and manages the checked-in golden
+// reports under tests/goldens/:
+//
+//   mwl_scenarios --list                   catalogue: ops, edges, lambda_min
+//   mwl_scenarios --emit                   print quality reports as JSON
+//   mwl_scenarios --update-goldens DIR     write/refresh <name>.json goldens
+//   mwl_scenarios --check DIR              recompute under each golden's own
+//                                          recorded options and diff; prints
+//                                          the per-metric drift table and
+//                                          exits 1 on any drift
+//   mwl_scenarios --verify                 differential value check: every
+//                                          allocator's RTL == bit-true
+//                                          reference on random signed inputs
+//
+// Golden policy: `--check` never writes; refresh goldens only via
+// `--update-goldens` in a commit whose message justifies the quality
+// change (see README "Scenario corpus & quality goldens").
+//
+// Exit codes: 0 ok, 1 drift or counterexample, 2 usage/malformed input.
+
+#include "core/quality.hpp"
+#include "dfg/analysis.hpp"
+#include "model/hardware_model.hpp"
+#include "scenarios/scenarios.hpp"
+#include "tgff/corpus.hpp"
+#include "verify/differential.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace mwl;
+
+[[noreturn]] void usage(int code)
+{
+    std::cout <<
+        "usage: mwl_scenarios MODE [options]\n"
+        "modes (exactly one):\n"
+        "  --list                catalogue of named scenarios\n"
+        "  --emit                print quality reports as JSON to stdout\n"
+        "  --update-goldens DIR  write one <scenario>.json golden per entry\n"
+        "  --check DIR           recompute + diff against goldens; exit 1\n"
+        "                        with a per-metric drift table on any drift\n"
+        "  --verify              differential value check of every\n"
+        "                        allocator's RTL on every scenario\n"
+        "options:\n"
+        "  --scenario NAME   restrict to NAME (repeatable)\n"
+        "  --slack PCT       latency relaxation over lambda_min [25]\n"
+        "  --ilp-max-ops N   ILP reference on scenarios with <= N ops [8]\n"
+        "  --tol PCT         relative area tolerance for --check [0]\n"
+        "  --latency-tol N   absolute latency tolerance for --check [0]\n"
+        "  --count-tol N     absolute FU/register/mux count tolerance [0]\n"
+        "  --diff-out FILE   also write the drift table to FILE\n"
+        "  --inputs N        input vectors per allocator for --verify [16]\n";
+    std::exit(code);
+}
+
+std::vector<scenario> selected_scenarios(
+    const std::vector<std::string>& names)
+{
+    if (names.empty()) {
+        return all_scenarios();
+    }
+    std::vector<scenario> out;
+    out.reserve(names.size());
+    for (const std::string& name : names) {
+        out.push_back(make_scenario(name));
+    }
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string mode;
+    std::string goldens_dir;
+    std::string diff_out;
+    std::vector<std::string> names;
+    quality_options quality;
+    drift_tolerances tolerances;
+    std::size_t verify_inputs = 16;
+
+    const auto set_mode = [&](const char* m) {
+        if (!mode.empty()) {
+            std::cerr << "mwl_scenarios: modes " << mode << " and " << m
+                      << " are mutually exclusive\n";
+            usage(2);
+        }
+        mode = m;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "mwl_scenarios: missing value for " << arg
+                          << '\n';
+                usage(2);
+            }
+            return argv[++i];
+        };
+        const auto count_value = [&]() -> std::size_t {
+            const std::string text = value();
+            try {
+                if (!text.empty() && text[0] == '-') {
+                    throw std::invalid_argument(text);
+                }
+                return std::stoul(text);
+            } catch (const std::exception&) {
+                std::cerr << "mwl_scenarios: bad numeric value '" << text
+                          << "' for " << arg << '\n';
+                usage(2);
+            }
+        };
+        try {
+            if (arg == "--list" || arg == "--emit" || arg == "--verify") {
+                set_mode(arg.c_str() + 2);
+            } else if (arg == "--update-goldens") {
+                set_mode("update");
+                goldens_dir = value();
+            } else if (arg == "--check") {
+                set_mode("check");
+                goldens_dir = value();
+            } else if (arg == "--scenario") {
+                names.push_back(value());
+            } else if (arg == "--slack") {
+                quality.slack = std::stod(value()) / 100.0;
+            } else if (arg == "--ilp-max-ops") {
+                quality.ilp_max_ops = count_value();
+            } else if (arg == "--tol") {
+                tolerances.area_rel = std::stod(value()) / 100.0;
+            } else if (arg == "--latency-tol") {
+                tolerances.latency_abs = static_cast<int>(count_value());
+            } else if (arg == "--count-tol") {
+                tolerances.count_abs = static_cast<int>(count_value());
+            } else if (arg == "--diff-out") {
+                diff_out = value();
+            } else if (arg == "--inputs") {
+                verify_inputs = count_value();
+            } else if (arg == "--help" || arg == "-h") {
+                usage(0);
+            } else {
+                std::cerr << "mwl_scenarios: unknown option " << arg << '\n';
+                usage(2);
+            }
+        } catch (const std::exception&) {
+            // invalid_argument and out_of_range alike: a typo must be a
+            // diagnostic + exit 2, never an uncaught abort.
+            std::cerr << "mwl_scenarios: bad value for " << arg << '\n';
+            usage(2);
+        }
+    }
+    if (mode.empty()) {
+        std::cerr << "mwl_scenarios: pick a mode (--list, --emit, "
+                     "--update-goldens, --check, --verify)\n";
+        usage(2);
+    }
+    if (quality.slack < 0.0) {
+        std::cerr << "mwl_scenarios: slack must be non-negative\n";
+        usage(2);
+    }
+    if (tolerances.area_rel < 0.0) {
+        std::cerr << "mwl_scenarios: tolerance must be non-negative\n";
+        usage(2);
+    }
+    if (mode == "verify" && verify_inputs < 1) {
+        std::cerr << "mwl_scenarios: --inputs must be >= 1\n";
+        usage(2);
+    }
+
+    // Argument-shaped failures keep the usage exit code: an unknown
+    // --scenario name is a bad argument, not a drift or a counterexample.
+    std::vector<scenario> scenarios;
+    try {
+        scenarios = selected_scenarios(names);
+    } catch (const precondition_error& e) {
+        std::cerr << "mwl_scenarios: " << e.what() << '\n';
+        return 2;
+    }
+
+    try {
+        const sonic_model model;
+
+        if (mode == "list") {
+            table t("named DSP scenarios");
+            t.header({"scenario", "ops", "edges", "lambda_min",
+                      "description"});
+            for (const scenario& s : scenarios) {
+                t.row({s.name, table::num(static_cast<int>(s.graph.size())),
+                       table::num(static_cast<int>(s.graph.edge_count())),
+                       table::num(min_latency(s.graph, model)),
+                       s.description});
+            }
+            t.print(std::cout);
+            return 0;
+        }
+
+        if (mode == "emit" || mode == "update") {
+            for (const scenario& s : scenarios) {
+                const quality_report report = measure_quality_report(
+                    s.graph, s.name, model, quality);
+                if (mode == "emit") {
+                    std::cout << to_json(report);
+                    continue;
+                }
+                std::filesystem::create_directories(goldens_dir);
+                const std::filesystem::path path =
+                    std::filesystem::path(goldens_dir) / (s.name + ".json");
+                std::ofstream out(path);
+                if (!out) {
+                    std::cerr << "mwl_scenarios: cannot write " << path
+                              << '\n';
+                    return 1;
+                }
+                out << to_json(report);
+                std::cout << "golden written: " << path.string() << '\n';
+            }
+            return 0;
+        }
+
+        if (mode == "check") {
+            std::vector<metric_drift> drifts;
+            std::size_t checked = 0;
+            for (const scenario& s : scenarios) {
+                const std::filesystem::path path =
+                    std::filesystem::path(goldens_dir) / (s.name + ".json");
+                std::ifstream in(path);
+                if (!in) {
+                    drifts.push_back({s.name, "-", "golden file " +
+                                      path.string() + " (missing)",
+                                      1.0, 0.0, 0.0});
+                    continue;
+                }
+                std::ostringstream text;
+                text << in.rdbuf();
+                quality_report golden;
+                try {
+                    golden = parse_quality_report(text.str());
+                } catch (const quality_format_error& e) {
+                    // A corrupted golden is malformed input (exit 2), not
+                    // an allocation-quality regression (exit 1).
+                    std::cerr << "mwl_scenarios: " << path.string() << ": "
+                              << e.what() << '\n';
+                    return 2;
+                }
+                // Recompute under the golden's own recorded protocol, so a
+                // --slack passed here cannot fake agreement or drift.
+                const quality_report current = measure_quality_report(
+                    s.graph, s.name, model, golden.options);
+                const auto delta = diff_quality(golden, current, tolerances);
+                drifts.insert(drifts.end(), delta.begin(), delta.end());
+                ++checked;
+            }
+            std::cout << "mwl_scenarios: checked " << checked << '/'
+                      << scenarios.size() << " goldens in " << goldens_dir
+                      << '\n';
+            if (drifts.empty()) {
+                std::cout << "OK: no allocation-quality drift\n";
+                return 0;
+            }
+            const table t = render_drift_table(drifts);
+            t.print(std::cout);
+            if (!diff_out.empty()) {
+                std::ofstream out(diff_out);
+                if (out) {
+                    t.print(out);
+                    out << drifts.size() << " drifted metric(s)\n";
+                }
+            }
+            std::cout << drifts.size()
+                      << " drifted metric(s); if intentional, refresh with "
+                         "mwl_scenarios --update-goldens " << goldens_dir
+                      << '\n' << "FAIL\n";
+            return 1;
+        }
+
+        // mode == "verify": every scenario through the differential
+        // harness -- reference == datapath sim == RTL interpretation for
+        // every allocator, ILP included on the small kernels.
+        verify_options options;
+        options.inputs_per_graph = verify_inputs;
+        options.slack = quality.slack;
+        options.ilp_max_ops = quality.ilp_max_ops;
+        verify_report report;
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            const scenario& s = scenarios[i];
+            const int lambda = relaxed_lambda(min_latency(s.graph, model),
+                                              options.slack);
+            report.merge(verify_graph(s.graph, s.name, model, lambda,
+                                      options,
+                                      verify_input_seed(options.seed, i)));
+        }
+        std::cout << "mwl_scenarios: " << report.graphs << " scenarios, "
+                  << report.allocations << " allocations, "
+                  << report.value_checks << " value checks\n";
+        if (!report.ok()) {
+            for (const counterexample& cx : report.counterexamples) {
+                std::cout << "  " << cx.to_string() << '\n';
+            }
+            std::cout << "FAIL\n";
+            return 1;
+        }
+        std::cout << "OK: reference == datapath sim == RTL interpretation\n";
+        return 0;
+    } catch (const error& e) {
+        std::cerr << "mwl_scenarios: " << e.what() << '\n';
+        return 1;
+    }
+}
