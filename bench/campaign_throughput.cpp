@@ -1,0 +1,136 @@
+// Campaign engine throughput: how much the crash-safe result store costs.
+//
+// Runs one fir4+fir8 campaign grid (variants scale with --graphs) three
+// ways: checkpointing every 64 records (the default), checkpointing every
+// record (worst-case durability), and resuming the finished store (pure
+// journal-replay skip). The gap between the first two is the fsync bill;
+// the third shows that resume cost is a scan, not a re-run. The two run
+// arms must agree point-for-point -- the bench exits non-zero otherwise.
+//
+// Emits the aligned table (or --csv) plus a JSON artifact, written to
+// BENCH_campaign_throughput.json (or --out FILE) on full-size runs.
+
+#include "bench_common.hpp"
+#include "campaign/campaign_runner.hpp"
+#include "campaign/report.hpp"
+#include "support/timer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+int main(int argc, char** argv)
+{
+    using namespace mwl;
+    namespace fs = std::filesystem;
+    const bench::bench_options opt =
+        bench::parse_options(argc, argv, "campaign_throughput");
+
+    // Variants per scenario scale the grid; the default 25 gives
+    // 2 * 26 * 4 = 208 points, smoke (--graphs 2) gives 24.
+    const std::size_t variants = opt.graphs;
+    std::ostringstream spec_text;
+    spec_text << "scenario fir4 fir8\n"
+              << "lambda slack=0..30 step=10\n"
+              << "perturb count=" << variants << " flips=2 seed="
+              << opt.seed << "\n";
+    const campaign_spec spec = campaign_spec::parse(spec_text.str());
+    const std::vector<campaign_point> points = expand(spec);
+    const std::uint64_t fp = points_fingerprint(points);
+
+    const fs::path root = "bench_campaign_tmp";
+    fs::remove_all(root);
+
+    struct arm_result {
+        double ms = 0.0;
+        std::string report;
+    };
+    const auto run_arm = [&](const char* name,
+                             std::size_t checkpoint_every) {
+        const fs::path dir = root / name;
+        result_store store = result_store::create(
+            dir, spec_text.str(), fp, points.size(), checkpoint_every);
+        stopwatch clock;
+        const campaign_run_summary summary =
+            run_campaign(spec, points, store, {});
+        arm_result result;
+        result.ms = clock.milliseconds();
+        if (summary.executed != points.size() || summary.failed != 0) {
+            std::cerr << "campaign_throughput: arm " << name
+                      << " did not complete cleanly\n";
+            std::exit(1);
+        }
+        result.report = report_json(points, store);
+        return result;
+    };
+
+    const arm_result every64 = run_arm("every64", 64);
+    const arm_result every1 = run_arm("every1", 1);
+    if (every64.report != every1.report) {
+        std::cerr << "campaign_throughput: CHECKPOINT CADENCE CHANGED THE"
+                     " RESULTS\n";
+        return 1;
+    }
+
+    // Resume of a finished campaign: replay the journal, skip everything.
+    double resume_ms = 0.0;
+    {
+        stopwatch clock;
+        result_store store = result_store::open(root / "every64", fp);
+        const campaign_run_summary summary =
+            run_campaign(spec, points, store, {});
+        resume_ms = clock.milliseconds();
+        if (summary.already_complete != points.size() ||
+            summary.executed != 0) {
+            std::cerr << "campaign_throughput: resume re-ran points\n";
+            return 1;
+        }
+    }
+    fs::remove_all(root);
+
+    const auto rate = [&](double ms) {
+        return ms > 0.0 ? static_cast<double>(points.size()) / (ms / 1e3)
+                        : 0.0;
+    };
+    table t("Campaign throughput: " + std::to_string(points.size()) +
+            " points (fir4+fir8, " + std::to_string(variants + 1) +
+            " variants, slack 0..30%)");
+    t.header({"arm", "ms", "points/s"});
+    t.row({"checkpoint every 64", table::num(every64.ms, 1),
+           table::num(rate(every64.ms), 1)});
+    t.row({"checkpoint every 1", table::num(every1.ms, 1),
+           table::num(rate(every1.ms), 1)});
+    t.row({"resume (all skipped)", table::num(resume_ms, 1),
+           table::num(rate(resume_ms), 1)});
+    bench::emit(t, opt);
+
+    const double overhead =
+        every64.ms > 0.0 ? every1.ms / every64.ms : 0.0;
+    std::ostringstream json;
+    json << "{\"bench\":\"campaign_throughput\",\"points\":"
+         << points.size() << ",\"variants\":" << variants + 1
+         << ",\"seed\":" << opt.seed
+         << ",\"checkpoint64_ms\":" << every64.ms
+         << ",\"checkpoint1_ms\":" << every1.ms
+         << ",\"resume_ms\":" << resume_ms
+         << ",\"points_per_second\":" << rate(every64.ms)
+         << ",\"fsync_every_record_overhead\":" << overhead
+         << ",\"reports_identical\":true}";
+    std::cout << '\n' << json.str() << '\n';
+
+    if (opt.max_size != 0 && opt.out.empty()) {
+        return 0; // smoke run; keep recorded artifacts intact
+    }
+    const std::string path =
+        opt.out.empty() ? "BENCH_campaign_throughput.json" : opt.out;
+    std::ofstream file(path);
+    if (file) {
+        file << json.str() << '\n';
+    } else {
+        std::cerr << "campaign_throughput: cannot write " << path << '\n';
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Campaign status and cross-grid Pareto reporting.
+//
+// A campaign's value is the frontier it maps: for each scenario, the
+// non-dominated (latency, area) points *across the whole grid* -- every
+// hardware-model combination, every wordlength variant, every slack.
+// `merge_scenario_frontiers` computes that merge from the result store;
+// `report_json` serialises the full result set plus the frontiers in a
+// canonical form (sorted by point index, exact double round-trip, no
+// timestamps), which is what the resume-equivalence tests and the CI
+// kill-and-resume soak diff byte-for-byte against an uninterrupted run.
+
+#ifndef MWL_CAMPAIGN_REPORT_HPP
+#define MWL_CAMPAIGN_REPORT_HPP
+
+#include "campaign/campaign_spec.hpp"
+#include "campaign/result_store.hpp"
+#include "report/table.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mwl {
+
+struct campaign_status {
+    std::size_t total = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0; ///< completed points whose allocation errored
+    std::map<std::string, std::size_t> per_scenario_completed;
+    std::map<std::string, std::size_t> per_scenario_total;
+};
+
+[[nodiscard]] campaign_status status_of(
+    const std::vector<campaign_point>& points, const result_store& store);
+
+[[nodiscard]] table render_status(const campaign_status& status);
+
+/// One surviving point of a merged frontier.
+struct frontier_entry {
+    int latency = 0;
+    double area = 0.0;
+    std::string key; ///< grid point that achieved it
+};
+
+/// Per-scenario non-dominated (latency, area) sets over every successful
+/// result in the store: ascending latency, strictly descending area; at
+/// equal latency the smallest area (ties broken by key, so the merge is
+/// deterministic). Scenarios with no successful point map to an empty
+/// frontier.
+[[nodiscard]] std::map<std::string, std::vector<frontier_entry>>
+merge_scenario_frontiers(const std::vector<campaign_point>& points,
+                         const result_store& store);
+
+[[nodiscard]] table render_frontiers(
+    const std::map<std::string, std::vector<frontier_entry>>& frontiers);
+
+/// Canonical JSON: header (format version, fingerprint, counts), every
+/// result sorted by point index, and the merged frontiers. Identical
+/// stores serialise to identical bytes.
+[[nodiscard]] std::string report_json(
+    const std::vector<campaign_point>& points, const result_store& store);
+
+} // namespace mwl
+
+#endif // MWL_CAMPAIGN_REPORT_HPP

@@ -3,6 +3,7 @@
 #include "support/error.hpp"
 #include "support/hash.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace mwl {
@@ -56,6 +57,14 @@ std::size_t batch_engine::submit(const sequencing_graph& graph,
         entry.result = *cached;
         entry.from_cache = true;
         ++stats_.cache_hits;
+        if (hook_) {
+            // Hook with the lock released; the caller is inside submit(),
+            // so the engine cannot be destroyed underneath the call.
+            const completion_hook hook = hook_;
+            const outcome out = entry;
+            lock.unlock();
+            hook(index, out);
+        }
         return index;
     }
     const auto [it, fresh] = inflight_.try_emplace(key);
@@ -94,27 +103,62 @@ void batch_engine::resolve(const job_key& key,
                            std::shared_ptr<const dpalloc_result> result,
                            std::string error)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.executed;
-    if (!result) {
-        ++stats_.errors;
+    // The completion hook runs with the lock released but *before* the
+    // resolution is published: while the key is still in inflight_, no
+    // drain() can return, so the engine stays alive across the unlocked
+    // calls. A submit that coalesces onto the key during a hook call is
+    // picked up by the next pass of the loop, so every waiter is hooked
+    // exactly once.
+    std::vector<std::size_t> hooked;
+    for (;;) {
+        completion_hook hook;
+        std::vector<std::pair<std::size_t, outcome>> fresh;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = inflight_.find(key);
+            MWL_ASSERT(it != inflight_.end());
+            hook = hook_;
+            if (hook) {
+                for (const std::size_t index : it->second) {
+                    if (std::find(hooked.begin(), hooked.end(), index) !=
+                        hooked.end()) {
+                        continue;
+                    }
+                    outcome out = entries_[index]; // key + coalesced flag
+                    out.result = result;
+                    out.error = error;
+                    fresh.emplace_back(index, std::move(out));
+                }
+            }
+            if (fresh.empty()) {
+                ++stats_.executed;
+                if (!result) {
+                    ++stats_.errors;
+                }
+                for (const std::size_t index : it->second) {
+                    entries_[index].result = result;
+                    entries_[index].error = error;
+                }
+                inflight_.erase(it);
+                if (result) {
+                    // Errors are not cached: they are cheap to rediscover
+                    // and a bounded cache slot is better spent on a
+                    // datapath.
+                    cache_.put(key, std::move(result));
+                }
+                // Notify while still holding the mutex: the moment it is
+                // released, a drain() that sees the batch complete may
+                // return and let the engine be destroyed, so an unlocked
+                // notify could touch a dead cv.
+                idle_cv_.notify_all();
+                return;
+            }
+        }
+        for (const auto& [index, out] : fresh) {
+            hook(index, out);
+            hooked.push_back(index);
+        }
     }
-    const auto it = inflight_.find(key);
-    MWL_ASSERT(it != inflight_.end());
-    for (const std::size_t index : it->second) {
-        entries_[index].result = result;
-        entries_[index].error = error;
-    }
-    inflight_.erase(it);
-    if (result) {
-        // Errors are not cached: they are cheap to rediscover and a
-        // bounded cache slot is better spent on a datapath.
-        cache_.put(key, std::move(result));
-    }
-    // Notify while still holding the mutex: the moment it is released, a
-    // drain() that sees the batch complete may return and let the engine
-    // be destroyed, so an unlocked notify could touch a dead cv.
-    idle_cv_.notify_all();
 }
 
 std::vector<batch_engine::outcome> batch_engine::drain()
@@ -138,6 +182,13 @@ std::vector<batch_engine::outcome> batch_engine::drain()
             }
         }
     }
+}
+
+void batch_engine::set_completion_hook(completion_hook hook)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    MWL_ASSERT(inflight_.empty());
+    hook_ = std::move(hook);
 }
 
 std::size_t batch_engine::pending() const

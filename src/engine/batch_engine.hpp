@@ -30,6 +30,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -96,6 +97,19 @@ public:
     /// Jobs submitted but not yet resolved in the current batch.
     [[nodiscard]] std::size_t pending() const;
 
+    /// Per-job checkpoint hook: invoked exactly once per submitted index
+    /// the moment its outcome is known (cache hit at submit, execution,
+    /// or coalesced resolution), with the engine lock *not* held, from
+    /// whichever thread resolved the job. Every hook call for a batch
+    /// completes before that batch's drain() returns, so a caller may
+    /// reuse its index-keyed state across batches. The campaign runner
+    /// journals completed points from here (src/campaign/). The hook must
+    /// not call back into the engine; it must be set while no jobs are in
+    /// flight.
+    using completion_hook =
+        std::function<void(std::size_t index, const outcome&)>;
+    void set_completion_hook(completion_hook hook);
+
     [[nodiscard]] batch_stats stats() const;
 
     [[nodiscard]] thread_pool& pool() { return *pool_; }
@@ -130,6 +144,7 @@ private:
     lru_cache<job_key, std::shared_ptr<const dpalloc_result>, job_key_hash>
         cache_;
     batch_stats stats_;
+    completion_hook hook_; ///< set while idle, read under mutex_
 };
 
 } // namespace mwl

@@ -1,0 +1,170 @@
+#include "io/record_journal.hpp"
+
+#include "support/atomic_write.hpp"
+#include "support/fault_inject.hpp"
+#include "support/hash.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mwl {
+
+namespace {
+
+constexpr std::size_t checksum_hex_digits = 16;
+
+std::string checksum_hex(std::string_view payload)
+{
+    fnv1a_hasher h;
+    h.mix(payload);
+    std::string hex(checksum_hex_digits, '0');
+    std::uint64_t digest = h.digest();
+    for (std::size_t i = checksum_hex_digits; i-- > 0; digest >>= 4) {
+        hex[i] = "0123456789abcdef"[digest & 0xf];
+    }
+    return hex;
+}
+
+/// Empty = the line frames `payload` correctly; otherwise the problem.
+std::string check_frame(std::string_view line, std::string& payload)
+{
+    if (line.size() < checksum_hex_digits + 1) {
+        return "record shorter than its checksum frame";
+    }
+    if (line[checksum_hex_digits] != ' ') {
+        return "missing checksum separator";
+    }
+    payload = std::string(line.substr(checksum_hex_digits + 1));
+    if (line.substr(0, checksum_hex_digits) != checksum_hex(payload)) {
+        return "checksum mismatch";
+    }
+    return {};
+}
+
+[[noreturn]] void fail_io(const std::string& what,
+                          const std::filesystem::path& path)
+{
+    throw io_error(what + " " + path.string() + ": " +
+                   std::strerror(errno));
+}
+
+} // namespace
+
+std::string frame_record(std::string_view payload)
+{
+    require(payload.find('\n') == std::string_view::npos,
+            "journal payloads are single lines");
+    std::string line = checksum_hex(payload);
+    line += ' ';
+    line += payload;
+    line += '\n';
+    return line;
+}
+
+journal_load parse_records(std::string_view text)
+{
+    journal_load load;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const bool complete = eol != std::string_view::npos;
+        const std::string_view line =
+            text.substr(pos, complete ? eol - pos : std::string_view::npos);
+        std::string payload;
+        std::string problem =
+            complete ? check_frame(line, payload) : "truncated final record";
+        const bool last = !complete || eol + 1 == text.size();
+        if (!problem.empty()) {
+            if (!last) {
+                throw journal_format_error(
+                    "corrupt journal record " +
+                    std::to_string(load.payloads.size() + 1) + ": " +
+                    problem);
+            }
+            load.dropped_tail = true;
+            load.tail_error = std::move(problem);
+            return load;
+        }
+        load.payloads.push_back(std::move(payload));
+        pos = eol + 1;
+        load.valid_bytes = pos;
+    }
+    return load;
+}
+
+journal_load load_journal(const std::filesystem::path& path)
+{
+    std::string text;
+    if (!read_file(path, text)) {
+        return {};
+    }
+    return parse_records(text);
+}
+
+journal_writer::journal_writer(const std::filesystem::path& path,
+                               std::size_t valid_bytes)
+{
+    open(path);
+    if (::ftruncate(fd_, static_cast<::off_t>(valid_bytes)) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        fail_io("cannot truncate journal", path);
+    }
+}
+
+journal_writer::journal_writer(const std::filesystem::path& path)
+{
+    open(path);
+}
+
+void journal_writer::open(const std::filesystem::path& path)
+{
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        fail_io("cannot open journal", path);
+    }
+}
+
+journal_writer::~journal_writer()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+    }
+}
+
+void journal_writer::append(std::string_view payload)
+{
+    const std::string line = frame_record(payload);
+    const bool boom = fault::tick();
+    std::string_view body = line;
+    if (boom && fault::torn()) {
+        body = body.substr(0, body.size() / 2);
+    }
+    std::size_t written = 0;
+    while (written < body.size()) {
+        const ::ssize_t n =
+            ::write(fd_, body.data() + written, body.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            throw io_error(std::string("journal append failed: ") +
+                           std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0) {
+        throw io_error(std::string("journal fsync failed: ") +
+                       std::strerror(errno));
+    }
+    if (boom) {
+        fault::crash();
+    }
+}
+
+} // namespace mwl

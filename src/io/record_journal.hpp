@@ -1,0 +1,94 @@
+// Checksummed, append-only record framing.
+//
+// The campaign result store journals one line per completed point. A
+// crash (or an injected one, support/fault_inject.hpp) can interrupt an
+// append anywhere, so every record is framed to make torn output
+// *detectable*: a line is `<fnv1a64-hex16> <payload>\n`, the checksum
+// covering the payload bytes exactly. On load, a final line that is
+// incomplete (no newline), too short to frame, or checksum-mismatched is
+// a torn tail: it is reported and discarded, never propagated -- the
+// appender then truncates it away before writing anything new, because
+// appending after half a record would destroy the next record too. The
+// same malformation anywhere *before* the final record cannot be produced
+// by a crash of this writer and is therefore corruption, a hard error.
+//
+// Payloads are opaque single-line strings; the result store defines what
+// goes in them (src/campaign/result_store.cpp). Tested in isolation by
+// tests/atomic_write_test.cpp: truncated tail, corrupted checksum,
+// duplicate record, empty file.
+
+#ifndef MWL_IO_RECORD_JOURNAL_HPP
+#define MWL_IO_RECORD_JOURNAL_HPP
+
+#include "support/error.hpp"
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mwl {
+
+/// A journal (or snapshot) file is corrupt in a way no crash of the
+/// writer explains: a bad record before the final one.
+class journal_format_error : public error {
+public:
+    using error::error;
+};
+
+/// `<fnv1a64-hex16> <payload>\n` -- the one framing shared by the writer,
+/// the loader and the snapshot serialiser. Throws `precondition_error` if
+/// the payload contains a newline.
+[[nodiscard]] std::string frame_record(std::string_view payload);
+
+/// What loading a journal found.
+struct journal_load {
+    std::vector<std::string> payloads; ///< valid records, file order
+    std::size_t valid_bytes = 0; ///< prefix length holding those records
+    bool dropped_tail = false;   ///< a torn/corrupt final record was cut
+    std::string tail_error;      ///< why the tail was dropped, for logs
+};
+
+/// Parse framed records out of `text` (shared by file loading and
+/// snapshot parsing). Throws `journal_format_error` on mid-file
+/// corruption; a bad final record is dropped and reported instead.
+[[nodiscard]] journal_load parse_records(std::string_view text);
+
+/// Load a journal file. A missing or empty file is a valid empty journal.
+[[nodiscard]] journal_load load_journal(const std::filesystem::path& path);
+
+/// Appender with per-record durability: every `append` writes one framed
+/// record and fsyncs before returning, so a record the caller saw succeed
+/// survives any later crash. Each append is a store write for the
+/// crash-injection countdown; in torn mode the elected record is half
+/// written -- exactly the damage `parse_records` must catch.
+class journal_writer {
+public:
+    /// Open for appending, truncating the file to `valid_bytes` first
+    /// (pass `journal_load::valid_bytes` to cut a torn tail; pass the
+    /// current size -- or open a fresh file -- to keep everything).
+    /// Throws `io_error` on failure.
+    journal_writer(const std::filesystem::path& path,
+                   std::size_t valid_bytes);
+
+    /// Open a new or intact journal for appending at its end.
+    explicit journal_writer(const std::filesystem::path& path);
+
+    ~journal_writer();
+
+    journal_writer(const journal_writer&) = delete;
+    journal_writer& operator=(const journal_writer&) = delete;
+
+    /// Durably append one record. Throws `io_error` on failure.
+    void append(std::string_view payload);
+
+private:
+    void open(const std::filesystem::path& path);
+
+    int fd_ = -1;
+};
+
+} // namespace mwl
+
+#endif // MWL_IO_RECORD_JOURNAL_HPP

@@ -1,0 +1,47 @@
+#include "support/fault_inject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mwl::fault {
+
+namespace {
+
+/// Remaining store writes before the injected crash; <= 0 means unarmed
+/// (0 from the start when MWL_CRASH_AFTER is unset or invalid).
+std::atomic<long>& countdown()
+{
+    static std::atomic<long> remaining = [] {
+        const char* env = std::getenv("MWL_CRASH_AFTER");
+        return env != nullptr ? std::atol(env) : 0L;
+    }();
+    return remaining;
+}
+
+} // namespace
+
+bool armed()
+{
+    return countdown().load(std::memory_order_relaxed) > 0;
+}
+
+bool torn()
+{
+    const char* env = std::getenv("MWL_CRASH_TORN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+bool tick()
+{
+    if (!armed()) {
+        return false;
+    }
+    return countdown().fetch_sub(1, std::memory_order_relaxed) == 1;
+}
+
+void crash()
+{
+    std::_Exit(crash_exit_code);
+}
+
+} // namespace mwl::fault

@@ -1,0 +1,48 @@
+// Crash-injection harness for the durable result store.
+//
+// Robustness claims are only worth what their tests inject. Two
+// environment variables turn every store write into a potential crash
+// site, so the resume-equivalence suite (tests/campaign_test.cpp) and the
+// CI kill-and-resume soak can kill a campaign at arbitrary persistence
+// boundaries and assert that resuming reproduces the uninterrupted result
+// set byte for byte:
+//
+//   MWL_CRASH_AFTER=<n>  exit the process (code 96) at the n-th store
+//                        write -- journal record appends and snapshot
+//                        replacements both count.
+//   MWL_CRASH_TORN=1     additionally truncate that n-th write midway
+//                        (half a journal record; a snapshot temp that is
+//                        never renamed), simulating a torn write that the
+//                        checksummed framing must detect and discard.
+//
+// The countdown is process-global and read from the environment once.
+// Unset means unarmed: zero overhead beyond one predictable branch.
+
+#ifndef MWL_SUPPORT_FAULT_INJECT_HPP
+#define MWL_SUPPORT_FAULT_INJECT_HPP
+
+namespace mwl::fault {
+
+/// Exit code of an injected crash; distinct from every real exit path of
+/// the tools (0/1 results, 2 usage, 3 interrupted).
+inline constexpr int crash_exit_code = 96;
+
+/// True iff MWL_CRASH_AFTER is set to a positive count.
+[[nodiscard]] bool armed();
+
+/// True iff MWL_CRASH_TORN requests the crashing write be torn.
+[[nodiscard]] bool torn();
+
+/// Count one store write. Returns true exactly once -- on the write the
+/// countdown elects to crash; the caller finishes (or tears) that write
+/// and then calls `crash()`. Always false when unarmed.
+[[nodiscard]] bool tick();
+
+/// Terminate immediately with `crash_exit_code`, bypassing destructors
+/// and atexit handlers -- the closest portable stand-in for `kill -9`
+/// that still lets a test distinguish the injected crash.
+[[noreturn]] void crash();
+
+} // namespace mwl::fault
+
+#endif // MWL_SUPPORT_FAULT_INJECT_HPP

@@ -1,0 +1,35 @@
+#include "support/interrupt.hpp"
+
+#include <csignal>
+
+namespace mwl {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void on_interrupt(int sig)
+{
+    g_interrupted = 1;
+    // Second signal: give up on draining and die the default way.
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+void install_interrupt_handler()
+{
+    struct sigaction action = {};
+    action.sa_handler = on_interrupt;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+bool interrupt_requested()
+{
+    return g_interrupted != 0;
+}
+
+} // namespace mwl

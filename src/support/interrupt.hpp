@@ -1,0 +1,30 @@
+// Cooperative SIGINT/SIGTERM handling for the long-running tools.
+//
+// mwl_batch and mwl_campaign can run for hours; dying mid-corpus with no
+// output (the default signal disposition) throws completed work away. The
+// tools instead install this handler first thing in main(): the signal
+// only sets a flag, the work loops poll it between chunks, drain whatever
+// is in flight, flush results/checkpoints, and exit with a distinct code
+// so scripts can tell "interrupted with partial results" (3) from success
+// (0), failures (1) and usage errors (2).
+
+#ifndef MWL_SUPPORT_INTERRUPT_HPP
+#define MWL_SUPPORT_INTERRUPT_HPP
+
+namespace mwl {
+
+/// Exit code of a tool that was interrupted and drained cleanly.
+inline constexpr int interrupt_exit_code = 3;
+
+/// Route SIGINT and SIGTERM to a flag (with SA_RESTART, so blocking
+/// reads in progress complete instead of failing with EINTR). A second
+/// signal of either kind restores the default disposition, so an
+/// impatient ^C ^C still kills the process immediately.
+void install_interrupt_handler();
+
+/// True once a handled signal has arrived.
+[[nodiscard]] bool interrupt_requested();
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_INTERRUPT_HPP

@@ -4,6 +4,8 @@
 // that turns a manifest typo into an uncaught abort, loses the 1-based
 // line number, or shifts exit 2 -> 1 fails here, not in a user's shell.
 
+#include "io/record_journal.hpp"
+
 #include <gtest/gtest.h>
 
 #include <array>
@@ -12,7 +14,10 @@
 #include <fstream>
 #include <string>
 
+#include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 namespace {
 
@@ -131,6 +136,53 @@ TEST(CliBatch, NegativeJobsIsDiagnosedNotWrapped)
                       "bad numeric value '-2' for --jobs");
 }
 
+TEST(CliBatch, SigintDrainsAndEmitsPartialResultsWithExitThree)
+{
+    // A corpus big enough that the run is mid-flight whenever the signal
+    // lands. The tool must drain, print what it completed, and exit 3 --
+    // not die signal-killed with no output.
+    const std::string manifest = write_manifest(
+        "cli_test_sigint.manifest", "corpus ops=12 count=4000 seed=3\n");
+    const std::string out_file = "cli_test_sigint.out";
+    const std::string binary = tool("mwl_batch");
+    for (const int delay_ms : {20, 40, 80, 160, 320}) {
+        const pid_t pid = fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0) {
+            const int fd = ::open(out_file.c_str(),
+                                  O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (fd != -1) {
+                ::dup2(fd, 1);
+                ::dup2(fd, 2);
+            }
+            ::execl(binary.c_str(), "mwl_batch", manifest.c_str(),
+                    "--jobs", "2", static_cast<char*>(nullptr));
+            ::_exit(127);
+        }
+        ::usleep(delay_ms * 1000);
+        ::kill(pid, SIGINT);
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 3) {
+            std::ifstream in(out_file);
+            std::string output((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+            EXPECT_NE(output.find("interrupted: completed"),
+                      std::string::npos)
+                << output;
+            EXPECT_NE(output.find("mwl_batch results"), std::string::npos)
+                << output;
+            return;
+        }
+        // Signal-killed: the handler was not installed yet (the signal
+        // beat exec); a longer delay fixes that. Exit 0 would mean the
+        // corpus finished first, which 4000 entries rules out.
+        ASSERT_FALSE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            << "run completed before the signal; corpus too small";
+    }
+    FAIL() << "SIGINT never landed while the batch was running";
+}
+
 // ----------------------------------------------------------- mwl_verify --
 
 TEST(CliVerify, ZeroInputsIsRejected)
@@ -232,6 +284,132 @@ TEST(CliScenarios, ListSucceedsAndNamesEveryScenario)
     for (const char* name : {"fir8", "dct8", "adder_chain16"}) {
         EXPECT_NE(r.output.find(name), std::string::npos) << r.output;
     }
+}
+
+// --------------------------------------------------------- mwl_campaign --
+
+std::string write_spec(const std::string& name, const std::string& text)
+{
+    std::ofstream out(name);
+    out << text;
+    return name;
+}
+
+TEST(CliCampaign, ModeIsRequired)
+{
+    expect_fails_with(tool("mwl_campaign"), 2, "pick a mode");
+}
+
+TEST(CliCampaign, ModesAreMutuallyExclusive)
+{
+    expect_fails_with(tool("mwl_campaign") + " --status a --report b", 2,
+                      "modes --status and --report are mutually exclusive");
+}
+
+TEST(CliCampaign, RunNeedsASpec)
+{
+    expect_fails_with(tool("mwl_campaign") + " --run cli_test_cdir", 2,
+                      "--run needs --spec FILE");
+}
+
+TEST(CliCampaign, SpecOnlyAppliesToRun)
+{
+    expect_fails_with(tool("mwl_campaign") +
+                          " --status cli_test_cdir --spec x",
+                      2, "--spec only applies to --run");
+}
+
+TEST(CliCampaign, ZeroCheckpointIntervalIsRejected)
+{
+    expect_fails_with(tool("mwl_campaign") +
+                          " --status x --checkpoint-every 0",
+                      2, "--checkpoint-every must be >= 1");
+}
+
+TEST(CliCampaign, MalformedSpecReportsItsLineNumber)
+{
+    const std::string spec = write_spec("cli_test_bad.spec",
+                                        "scenario fir4\n"
+                                        "wibble x\n");
+    std::filesystem::remove_all("cli_test_campaign_badspec");
+    expect_fails_with(tool("mwl_campaign") +
+                          " --run cli_test_campaign_badspec --spec " + spec,
+                      2, "spec line 2: unknown keyword 'wibble'");
+}
+
+TEST(CliCampaign, UnknownScenarioInSpecExitsTwo)
+{
+    const std::string spec =
+        write_spec("cli_test_unknown.spec", "scenario no_such_scenario\n");
+    std::filesystem::remove_all("cli_test_campaign_unknown");
+    expect_fails_with(tool("mwl_campaign") +
+                          " --run cli_test_campaign_unknown --spec " + spec,
+                      2,
+                      "spec line 1: unknown scenario 'no_such_scenario'");
+}
+
+TEST(CliCampaign, MissingSpecFileExitsTwo)
+{
+    expect_fails_with(tool("mwl_campaign") +
+                          " --run cli_test_cdir --spec cli_test_nospec",
+                      2, "cannot open spec");
+}
+
+TEST(CliCampaign, StatusOnANonCampaignDirectoryExitsTwo)
+{
+    expect_fails_with(tool("mwl_campaign") +
+                          " --status cli_test_not_a_campaign",
+                      2, "is not a campaign directory");
+}
+
+TEST(CliCampaign, RunIntoAnExistingCampaignDirectoryExitsTwo)
+{
+    // A one-point campaign keeps the successful first run fast.
+    const std::string spec = write_spec("cli_test_tiny.spec",
+                                        "scenario fir4\n"
+                                        "lambda slack=0\n");
+    const std::string dir = "cli_test_campaign_exists";
+    std::filesystem::remove_all(dir);
+    const run_result first =
+        run(tool("mwl_campaign") + " --run " + dir + " --spec " + spec);
+    ASSERT_EQ(first.exit_code, 0) << first.output;
+    expect_fails_with(tool("mwl_campaign") + " --run " + dir + " --spec " +
+                          spec,
+                      2, "already contains a campaign; use --resume");
+}
+
+TEST(CliCampaign, IncompatibleCheckpointFormatVersionExitsTwo)
+{
+    // Fabricate a store whose journal header claims a future format: the
+    // tool must refuse to read it rather than misparse the records.
+    const std::string dir = "cli_test_campaign_future";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    write_spec(dir + "/spec.campaign", "scenario fir4\nlambda slack=0\n");
+    std::ofstream(dir + "/journal.log", std::ios::binary)
+        << mwl::frame_record("campaign-store format_version=999 "
+                             "fingerprint=0123456789abcdef points=1");
+    expect_fails_with(tool("mwl_campaign") + " --status " + dir, 2,
+                      "incompatible checkpoint format_version 999");
+    expect_fails_with(tool("mwl_campaign") + " --resume " + dir, 2,
+                      "incompatible checkpoint format_version 999");
+}
+
+TEST(CliCampaign, ResumeRejectsASpecWithADifferentFingerprint)
+{
+    const std::string spec = write_spec("cli_test_fp.spec",
+                                        "scenario fir4\n"
+                                        "lambda slack=0\n");
+    const std::string dir = "cli_test_campaign_fp";
+    std::filesystem::remove_all(dir);
+    const run_result first =
+        run(tool("mwl_campaign") + " --run " + dir + " --spec " + spec);
+    ASSERT_EQ(first.exit_code, 0) << first.output;
+    // Editing the stored spec after the fact changes what it expands to;
+    // the checkpoint's fingerprint must catch the mismatch.
+    write_spec(dir + "/spec.campaign", "scenario fir4 fir8\n");
+    expect_fails_with(tool("mwl_campaign") + " --resume " + dir, 2,
+                      "checkpoint was built from a different spec");
 }
 
 } // namespace

@@ -31,6 +31,7 @@
 #include "io/graph_io.hpp"
 #include "model/hardware_model.hpp"
 #include "report/table.hpp"
+#include "support/interrupt.hpp"
 #include "support/timer.hpp"
 #include "tgff/corpus.hpp"
 #include "verify/differential.hpp"
@@ -63,7 +64,9 @@ using namespace mwl;
         "         [max-width=W] [lambda=N | slack=PCT | sweep=PCT]\n"
         "         [verify=N]\n"
         "  verify=N cross-checks reference == datapath sim == RTL\n"
-        "  interpretation on N random signed input vectors per graph\n";
+        "  interpretation on N random signed input vectors per graph\n"
+        "SIGINT/SIGTERM drain in-flight jobs and emit the partial\n"
+        "results (exit 3) instead of dying with no output\n";
     std::exit(code);
 }
 
@@ -147,6 +150,10 @@ std::string json_escape(const std::string& text)
 
 int main(int argc, char** argv)
 {
+    // First thing, so a ^C during manifest expansion already drains
+    // instead of killing the process with no output.
+    install_interrupt_handler();
+
     std::string manifest_file;
     std::size_t jobs = 0;
     std::string json_file;
@@ -295,40 +302,71 @@ int main(int argc, char** argv)
 
         stopwatch clock;
 
-        // Single-lambda jobs go through the engine (dedup + cache); sweep
-        // entries fan out per-lambda subtasks on the same pool.
+        // Single-lambda jobs go through the engine (dedup + cache) in
+        // bounded chunks, draining between them, so a SIGINT/SIGTERM
+        // costs at most one chunk of in-flight work before the partial
+        // results are emitted; sweep entries fan out per-lambda subtasks
+        // on the same pool afterwards.
         std::vector<std::size_t> job_of_item(items.size(),
                                              static_cast<std::size_t>(-1));
         std::vector<int> lambda_of_item(items.size(), 0);
-        for (std::size_t i = 0; i < items.size(); ++i) {
-            const work_item& item = items[i];
-            if (item.what.sweep_slack) {
-                continue;
+        std::vector<batch_engine::outcome> outcomes;
+        constexpr std::size_t chunk_size = 64;
+        std::size_t reached = 0; ///< items whose chunk ran (or was skipped)
+        bool interrupted = false;
+        while (reached < items.size()) {
+            if (interrupt_requested()) {
+                interrupted = true;
+                break;
             }
-            const int lambda =
-                item.what.lambda
-                    ? *item.what.lambda
-                    : item.graph->empty()
-                        ? 0
-                        : relaxed_lambda(min_latency(*item.graph, model),
-                                         item.what.slack);
-            lambda_of_item[i] = lambda;
-            if (item.what.verify_inputs) {
-                continue; // verified on the pool below, at this lambda
+            const std::size_t base = outcomes.size();
+            std::size_t submitted = 0;
+            for (; reached < items.size() && submitted < chunk_size;
+                 ++reached) {
+                const work_item& item = items[reached];
+                if (item.what.sweep_slack) {
+                    continue;
+                }
+                const int lambda =
+                    item.what.lambda
+                        ? *item.what.lambda
+                        : item.graph->empty()
+                            ? 0
+                            : relaxed_lambda(min_latency(*item.graph, model),
+                                             item.what.slack);
+                lambda_of_item[reached] = lambda;
+                if (item.what.verify_inputs) {
+                    continue; // verified on the pool below, at this lambda
+                }
+                job_of_item[reached] =
+                    base + engine.submit(*item.graph, model, lambda);
+                ++submitted;
             }
-            job_of_item[i] = engine.submit(*item.graph, model, lambda);
+            auto drained = engine.drain();
+            outcomes.insert(outcomes.end(),
+                            std::make_move_iterator(drained.begin()),
+                            std::make_move_iterator(drained.end()));
         }
-        const auto outcomes = engine.drain();
 
         // Sweep and verification entries run concurrently across items
         // too: one task per graph on the same pool (sweeps additionally
-        // fan per-lambda subtasks).
+        // fan per-lambda subtasks). An interrupt stops further launches;
+        // already-launched tasks drain through tasks.wait().
         std::vector<std::vector<pareto_point>> fronts(items.size());
         std::vector<verify_report> verifications(items.size());
+        std::vector<bool> launched(items.size(), false);
         {
             task_group tasks(pool);
-            for (std::size_t i = 0; i < items.size(); ++i) {
+            for (std::size_t i = 0; i < reached; ++i) {
                 const work_item& item = items[i];
+                if (!item.what.sweep_slack && !item.what.verify_inputs) {
+                    continue;
+                }
+                if (interrupt_requested()) {
+                    interrupted = true;
+                    break;
+                }
+                launched[i] = true;
                 if (item.what.sweep_slack) {
                     pareto_options sweep;
                     sweep.max_slack = *item.what.sweep_slack;
@@ -389,8 +427,19 @@ int main(int argc, char** argv)
             first = false;
         };
         int failures = 0;
+        std::size_t completed_items = 0;
         for (std::size_t i = 0; i < items.size(); ++i) {
             const work_item& item = items[i];
+            // On interrupt, entries that never ran get no row: a partial
+            // report only contains results that actually exist.
+            if (item.what.sweep_slack || item.what.verify_inputs) {
+                if (!launched[i]) {
+                    continue;
+                }
+            } else if (i >= reached) {
+                continue;
+            }
+            ++completed_items;
             if (item.what.sweep_slack) {
                 if (fronts[i].empty()) {
                     // An empty graph sweeps to an empty frontier; still
@@ -441,6 +490,8 @@ int main(int argc, char** argv)
         const double throughput =
             wall > 0.0 ? static_cast<double>(items.size()) / wall : 0.0;
         json << "],\"stats\":{\"entries\":" << items.size()
+             << ",\"completed_entries\":" << completed_items
+             << ",\"interrupted\":" << (interrupted ? "true" : "false")
              << ",\"engine_jobs\":" << stats.submitted
              << ",\"executed\":" << stats.executed
              << ",\"cache_hits\":" << stats.cache_hits
@@ -461,6 +512,10 @@ int main(int argc, char** argv)
                   << "pool: " << pool.size() << " threads, "
                   << table::num(wall * 1e3, 1) << " ms, "
                   << table::num(throughput, 1) << " entries/s\n";
+        if (interrupted) {
+            std::cout << "interrupted: completed " << completed_items
+                      << " of " << items.size() << " entries\n";
+        }
 
         if (!json_file.empty()) {
             std::ofstream out(json_file);
@@ -470,6 +525,9 @@ int main(int argc, char** argv)
             }
             out << json.str() << '\n';
             std::cout << "json written to " << json_file << '\n';
+        }
+        if (interrupted) {
+            return interrupt_exit_code;
         }
         return failures == 0 ? 0 : 1;
     } catch (const error& e) {
