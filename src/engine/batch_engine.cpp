@@ -26,12 +26,12 @@ std::size_t batch_engine::job_key_hash::operator()(const job_key& key) const
 batch_engine::batch_engine(const batch_options& options)
     : owned_pool_(std::make_unique<thread_pool>(options.jobs)),
       pool_(owned_pool_.get()),
-      cache_(options.cache_capacity)
+      cache_(options.cache_capacity, options.cache_shards)
 {
 }
 
 batch_engine::batch_engine(thread_pool& pool, const batch_options& options)
-    : pool_(&pool), cache_(options.cache_capacity)
+    : pool_(&pool), cache_(options.cache_capacity, options.cache_shards)
 {
 }
 
@@ -46,17 +46,20 @@ std::size_t batch_engine::submit(const sequencing_graph& graph,
 {
     const job_key key{graph_fingerprint(graph), model.fingerprint(), lambda,
                       options};
+    submitted_.fetch_add(1, std::memory_order_relaxed);
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    const std::size_t index = entries_.size();
-    outcome& entry = entries_.emplace_back();
-    entry.key = job_key_hash{}(key);
-    ++stats_.submitted;
-
-    if (const auto* cached = cache_.get(key)) {
-        entry.result = *cached;
+    // Cache lookup first, touching only the key's shard lock. A result
+    // published between this miss and the in-flight registration below is
+    // recomputed -- a benign race costing one duplicate execution, never a
+    // wrong answer (equal keys imply byte-identical results).
+    if (auto cached = cache_.get(key)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<std::mutex> lock(mutex_);
+        const std::size_t index = entries_.size();
+        outcome& entry = entries_.emplace_back();
+        entry.key = job_key_hash{}(key);
+        entry.result = std::move(*cached);
         entry.from_cache = true;
-        ++stats_.cache_hits;
         if (hook_) {
             // Hook with the lock released; the caller is inside submit(),
             // so the engine cannot be destroyed underneath the call.
@@ -67,19 +70,112 @@ std::size_t batch_engine::submit(const sequencing_graph& graph,
         }
         return index;
     }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t index = entries_.size();
+    outcome& entry = entries_.emplace_back();
+    entry.key = job_key_hash{}(key);
     const auto [it, fresh] = inflight_.try_emplace(key);
-    it->second.push_back(index);
+    it->second.indices.push_back(index);
     if (!fresh) {
         entry.coalesced = true;
-        ++stats_.coalesced;
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
         return index;
     }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
     // The future is intentionally dropped: execute() reports through
     // resolve() and never throws out of the task.
     static_cast<void>(pool_->submit(
         [this, key, &graph, &model] { execute(key, graph, model); }));
     return index;
+}
+
+batch_engine::outcome batch_engine::run(const sequencing_graph& graph,
+                                        const hardware_model& model,
+                                        int lambda,
+                                        const dpalloc_options& options)
+{
+    const job_key key{graph_fingerprint(graph), model.fingerprint(), lambda,
+                      options};
+    const std::uint64_t key_hash = job_key_hash{}(key);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (auto cached = cache_.get(key)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        outcome out;
+        out.result = std::move(*cached);
+        out.key = key_hash;
+        out.from_cache = true;
+        return out;
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto [it, fresh] = inflight_.try_emplace(key);
+        if (!fresh) {
+            // Identical job already executing (batch- or run-originated):
+            // rendezvous on its sync slot instead of recomputing.
+            if (!it->second.sync) {
+                it->second.sync = std::make_shared<sync_slot>();
+            }
+            const std::shared_ptr<sync_slot> slot = it->second.sync;
+            lock.unlock();
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            return wait_coalesced(slot, key_hash);
+        }
+        in_flight_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Execute on the calling thread: the serve daemon's concurrency is its
+    // request tasks, so the work happens where the request is.
+    std::shared_ptr<const dpalloc_result> result;
+    std::string error;
+    try {
+        result = std::make_shared<const dpalloc_result>(
+            dpalloc(graph, model, lambda, options));
+    } catch (const std::exception& e) {
+        error = e.what();
+        if (error.empty()) {
+            error = "allocation failed";
+        }
+    }
+    resolve(key, result, error);
+    outcome out;
+    out.result = std::move(result);
+    out.error = std::move(error);
+    out.key = key_hash;
+    return out;
+}
+
+batch_engine::outcome batch_engine::wait_coalesced(
+    const std::shared_ptr<sync_slot>& slot, std::uint64_t key_hash)
+{
+    using namespace std::chrono_literals;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(slot->mutex);
+            if (slot->done) {
+                break;
+            }
+        }
+        // Help the pool while waiting: the job we coalesced onto may still
+        // be *queued* (batch-originated), and every pool worker may itself
+        // be a run() caller -- draining the queues ourselves guarantees
+        // progress on any pool size.
+        if (!pool_->run_one()) {
+            std::unique_lock<std::mutex> lock(slot->mutex);
+            if (!slot->done) {
+                slot->cv.wait_for(lock, 200us);
+            }
+        }
+    }
+    outcome out;
+    out.result = slot->result;
+    out.error = slot->error;
+    out.key = key_hash;
+    out.coalesced = true;
+    return out;
 }
 
 void batch_engine::execute(const job_key& key, const sequencing_graph& graph,
@@ -110,6 +206,7 @@ void batch_engine::resolve(const job_key& key,
     // picked up by the next pass of the loop, so every waiter is hooked
     // exactly once.
     std::vector<std::size_t> hooked;
+    std::shared_ptr<sync_slot> sync;
     for (;;) {
         completion_hook hook;
         std::vector<std::pair<std::size_t, outcome>> fresh;
@@ -119,7 +216,7 @@ void batch_engine::resolve(const job_key& key,
             MWL_ASSERT(it != inflight_.end());
             hook = hook_;
             if (hook) {
-                for (const std::size_t index : it->second) {
+                for (const std::size_t index : it->second.indices) {
                     if (std::find(hooked.begin(), hooked.end(), index) !=
                         hooked.end()) {
                         continue;
@@ -131,33 +228,47 @@ void batch_engine::resolve(const job_key& key,
                 }
             }
             if (fresh.empty()) {
-                ++stats_.executed;
+                executed_.fetch_add(1, std::memory_order_relaxed);
                 if (!result) {
-                    ++stats_.errors;
+                    errors_.fetch_add(1, std::memory_order_relaxed);
                 }
-                for (const std::size_t index : it->second) {
+                for (const std::size_t index : it->second.indices) {
                     entries_[index].result = result;
                     entries_[index].error = error;
                 }
-                inflight_.erase(it);
+                sync = std::move(it->second.sync);
                 if (result) {
-                    // Errors are not cached: they are cheap to rediscover
-                    // and a bounded cache slot is better spent on a
-                    // datapath.
-                    cache_.put(key, std::move(result));
+                    // Insert before erasing the in-flight entry, so a
+                    // concurrent submit/run always sees the key in at
+                    // least one place. Errors are not cached: they are
+                    // cheap to rediscover and a bounded cache slot is
+                    // better spent on a datapath.
+                    cache_.put(key, result);
                 }
+                inflight_.erase(it);
+                in_flight_.fetch_sub(1, std::memory_order_relaxed);
                 // Notify while still holding the mutex: the moment it is
                 // released, a drain() that sees the batch complete may
                 // return and let the engine be destroyed, so an unlocked
                 // notify could touch a dead cv.
                 idle_cv_.notify_all();
-                return;
+                break;
             }
         }
         for (const auto& [index, out] : fresh) {
             hook(index, out);
             hooked.push_back(index);
         }
+    }
+    if (sync) {
+        // The slot is jointly owned with its run() waiters, so waking them
+        // after the engine bookkeeping is released is lifetime-safe even
+        // if a drain() returns concurrently.
+        const std::lock_guard<std::mutex> lock(sync->mutex);
+        sync->result = std::move(result);
+        sync->error = std::move(error);
+        sync->done = true;
+        sync->cv.notify_all();
     }
 }
 
@@ -205,8 +316,32 @@ std::size_t batch_engine::pending() const
 
 batch_stats batch_engine::stats() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    const engine_stats snap = snapshot();
+    batch_stats out;
+    out.submitted = snap.submitted;
+    out.executed = snap.executed;
+    out.cache_hits = snap.cache_hits;
+    out.coalesced = snap.coalesced;
+    out.errors = snap.errors;
+    return out;
+}
+
+engine_stats batch_engine::snapshot() const
+{
+    engine_stats snap;
+    // Hits before submitted: every hit follows its submit, so this read
+    // order keeps submitted >= hits even mid-flight.
+    snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    snap.submitted = submitted_.load(std::memory_order_relaxed);
+    snap.executed = executed_.load(std::memory_order_relaxed);
+    snap.cache_misses = snap.submitted - snap.cache_hits;
+    snap.coalesced = coalesced_.load(std::memory_order_relaxed);
+    snap.errors = errors_.load(std::memory_order_relaxed);
+    snap.evictions = cache_.evictions();
+    snap.in_flight = in_flight_.load(std::memory_order_relaxed);
+    snap.cache_size = cache_.size();
+    snap.cache_capacity = cache_.capacity();
+    return snap;
 }
 
 } // namespace mwl

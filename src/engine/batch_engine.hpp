@@ -12,6 +12,21 @@
 //    across batches for the lifetime of the engine, so a service replaying
 //    popular designs (or a sweep revisiting a lambda) answers from memory.
 //
+// The cache is lock-striped (support/sharded_lru.hpp): lookups take only
+// the shard lock their key hashes to, never the engine mutex, so N serve
+// connections hitting the cache do not serialise on one lock. Counters
+// are atomics, published as an `engine_stats` snapshot that is queryable
+// while jobs run -- the serve daemon's stats endpoint reads it live.
+//
+// Two consumption styles share the dedup/coalesce/cache machinery:
+//
+//  * Batch: submit() many jobs, drain() them in submission order
+//    (mwl_batch, the campaign runner).
+//  * Direct: run() one job to completion on the calling thread
+//    (mwl_serve's per-request path). run() never touches the batch
+//    entry list, so concurrent callers do not contend on drain()'s
+//    global barrier; it coalesces with in-flight work from either style.
+//
 // Identity is structural: the graph fingerprint covers shapes and edges
 // (io/graph_io.hpp), the model contributes hardware_model::fingerprint(),
 // and options compare field-wise. Equal keys therefore imply inputs the
@@ -25,9 +40,10 @@
 
 #include "core/dpalloc.hpp"
 #include "io/graph_io.hpp"
-#include "support/lru_cache.hpp"
+#include "support/sharded_lru.hpp"
 #include "support/thread_pool.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -44,14 +60,37 @@ struct batch_options {
     std::size_t jobs = 0;
     /// Bound on the LRU result cache (completed jobs retained).
     std::size_t cache_capacity = 1024;
+    /// Lock stripes the cache is split across (rounded up to a power of
+    /// two). More stripes = less same-shard contention under concurrent
+    /// serve traffic; 16 keeps per-shard capacity sane at the default
+    /// cache size.
+    std::size_t cache_shards = 16;
 };
 
+/// Cumulative engine statistics up to `stats()` (kept for the batch
+/// tools' end-of-run report; a subset of `engine_stats`).
 struct batch_stats {
-    std::size_t submitted = 0; ///< jobs accepted by submit()
+    std::size_t submitted = 0; ///< jobs accepted by submit() or run()
     std::size_t executed = 0;  ///< dpalloc runs actually performed
     std::size_t cache_hits = 0; ///< served from the LRU at submit time
     std::size_t coalesced = 0;  ///< attached to an identical in-flight job
     std::size_t errors = 0;     ///< executions that threw (e.g. infeasible)
+};
+
+/// Structured point-in-time snapshot, safe to read from any thread while
+/// jobs run (counters are atomics; no engine lock is taken). The serve
+/// daemon's stats endpoint reports this verbatim.
+struct engine_stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0; ///< submitted - cache_hits
+    std::uint64_t coalesced = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t evictions = 0;   ///< results aged out of the LRU
+    std::size_t in_flight = 0;     ///< distinct jobs executing right now
+    std::size_t cache_size = 0;
+    std::size_t cache_capacity = 0;
 };
 
 class batch_engine {
@@ -76,6 +115,7 @@ public:
     batch_engine(thread_pool& pool, const batch_options& options = {});
 
     /// Completes all in-flight work (an implicit drain) before returning.
+    /// No run() call may still be executing.
     ~batch_engine();
 
     batch_engine(const batch_engine&) = delete;
@@ -87,6 +127,19 @@ public:
     std::size_t submit(const sequencing_graph& graph,
                        const hardware_model& model, int lambda,
                        const dpalloc_options& options = {});
+
+    /// Run one job to completion on the calling thread: answer from the
+    /// cache, coalesce onto an identical in-flight job (helping the pool
+    /// while waiting, so run() may be called from a pool task), or execute
+    /// dpalloc inline. Never touches the batch entry list -- concurrent
+    /// run() calls from N serve connections share only the striped cache
+    /// and the (brief) in-flight registration, not drain()'s barrier.
+    /// The completion hook does not fire for run() jobs (it is an index
+    /// contract over submit()). Thread-safe; `graph`/`model` only need to
+    /// live for the duration of the call.
+    [[nodiscard]] outcome run(const sequencing_graph& graph,
+                              const hardware_model& model, int lambda,
+                              const dpalloc_options& options = {});
 
     /// Wait for every submitted job (helping the pool while blocked, so
     /// drain() may be called from inside a pool task) and return the
@@ -112,6 +165,10 @@ public:
 
     [[nodiscard]] batch_stats stats() const;
 
+    /// Lock-free structured snapshot, valid mid-flight (cache_size and
+    /// evictions briefly lock each cache shard in turn).
+    [[nodiscard]] engine_stats snapshot() const;
+
     [[nodiscard]] thread_pool& pool() { return *pool_; }
 
 private:
@@ -127,11 +184,28 @@ private:
         std::size_t operator()(const job_key& key) const;
     };
 
+    /// Rendezvous for run() callers coalescing onto an in-flight job.
+    struct sync_slot {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<const dpalloc_result> result;
+        std::string error;
+    };
+
+    /// One executing job and everyone waiting on it.
+    struct inflight_entry {
+        std::vector<std::size_t> indices;  ///< batch waiters (entry index)
+        std::shared_ptr<sync_slot> sync;   ///< run() waiters, lazily made
+    };
+
     void execute(const job_key& key, const sequencing_graph& graph,
                  const hardware_model& model);
     void resolve(const job_key& key,
                  std::shared_ptr<const dpalloc_result> result,
                  std::string error);
+    outcome wait_coalesced(const std::shared_ptr<sync_slot>& slot,
+                           std::uint64_t key_hash);
 
     std::unique_ptr<thread_pool> owned_pool_; ///< null when pool is shared
     thread_pool* pool_;
@@ -139,12 +213,19 @@ private:
     mutable std::mutex mutex_;
     std::condition_variable idle_cv_;
     std::vector<outcome> entries_;
-    std::unordered_map<job_key, std::vector<std::size_t>, job_key_hash>
-        inflight_; ///< key -> waiting entry indices
-    lru_cache<job_key, std::shared_ptr<const dpalloc_result>, job_key_hash>
+    std::unordered_map<job_key, inflight_entry, job_key_hash> inflight_;
+    sharded_lru<job_key, std::shared_ptr<const dpalloc_result>, job_key_hash>
         cache_;
-    batch_stats stats_;
     completion_hook hook_; ///< set while idle, read under mutex_
+
+    // Queryable-while-running counters (engine_stats); relaxed ordering is
+    // enough, the snapshot is advisory.
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> cache_hits_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::size_t> in_flight_{0};
 };
 
 } // namespace mwl

@@ -1,0 +1,65 @@
+// Client-side connection helpers for the allocation service, shared by
+// tools/mwl_client, the serve test suite, and the serve bench -- one
+// place owns endpoint parsing, connect, and the frame round-trip, so
+// every consumer speaks the exact same dialect.
+
+#ifndef MWL_SERVE_CLIENT_HPP
+#define MWL_SERVE_CLIENT_HPP
+
+#include "serve/protocol.hpp"
+
+#include <optional>
+#include <string>
+
+namespace mwl::serve {
+
+/// Where a server listens: `unix:PATH` or `tcp:HOST:PORT` (numeric IPv4).
+struct endpoint {
+    enum class kind { unix_socket, tcp };
+
+    kind what = kind::unix_socket;
+    std::string path;              ///< unix socket path
+    std::string host = "127.0.0.1";
+    int port = 0;
+};
+
+/// Parse an endpoint string. Throws `precondition_error` with a usage
+/// message on a malformed spec.
+[[nodiscard]] endpoint parse_endpoint(const std::string& text);
+
+/// Render back to the `unix:...` / `tcp:...` spelling.
+[[nodiscard]] std::string to_string(const endpoint& ep);
+
+/// One connection to a server. Connects in the constructor (throws
+/// `mwl::error` when nobody listens), closes in the destructor.
+class client_connection {
+public:
+    explicit client_connection(const endpoint& ep);
+    ~client_connection();
+
+    client_connection(const client_connection&) = delete;
+    client_connection& operator=(const client_connection&) = delete;
+
+    [[nodiscard]] int fd() const { return fd_; }
+
+    /// Send one request payload. Returns false when the server is gone.
+    [[nodiscard]] bool send(const std::string& payload);
+
+    /// Read one response. nullopt = the server closed the stream (EOF or
+    /// a truncated frame mid-read); throws `protocol_error` on a frame
+    /// the server should never produce (bad magic, oversized, grammar).
+    [[nodiscard]] std::optional<response> receive();
+
+private:
+    int fd_ = -1;
+};
+
+/// Connect with retries until the server answers or `timeout_ms` passes
+/// -- the standard way to wait for a just-started daemon to come up.
+/// Returns nullopt on timeout.
+[[nodiscard]] std::optional<int> connect_with_retry(const endpoint& ep,
+                                                    int timeout_ms);
+
+} // namespace mwl::serve
+
+#endif // MWL_SERVE_CLIENT_HPP

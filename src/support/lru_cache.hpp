@@ -39,20 +39,25 @@ public:
     }
 
     /// Insert or overwrite; evicts the least-recently-used entry when full.
-    void put(const Key& key, Value value)
+    /// Returns true when an entry was evicted to make room (the signal the
+    /// sharded engine cache aggregates into its eviction counter).
+    bool put(const Key& key, Value value)
     {
         const auto it = index_.find(key);
         if (it != index_.end()) {
             it->second->second = std::move(value);
             order_.splice(order_.begin(), order_, it->second);
-            return;
+            return false;
         }
+        bool evicted = false;
         if (order_.size() == capacity_) {
             index_.erase(order_.back().first);
             order_.pop_back();
+            evicted = true;
         }
         order_.emplace_front(key, std::move(value));
         index_[key] = order_.begin();
+        return evicted;
     }
 
     [[nodiscard]] std::size_t size() const { return order_.size(); }

@@ -1,0 +1,126 @@
+// Lock-striped sharded LRU cache.
+//
+// The serve daemon (src/serve/) answers N concurrent connections out of
+// one result cache; a single-mutex LRU would serialise every request on
+// that one lock. This wrapper splits the capacity across 2^k independent
+// `lru_cache` shards, each behind its own mutex, and routes a key to the
+// shard its hash selects -- so lookups for different keys proceed in
+// parallel and only same-shard traffic contends. Recency is therefore
+// tracked *per shard*, which is the standard striped-LRU trade: a shard
+// may evict an entry that is globally younger than the coldest entry of
+// another shard. The bound still holds exactly (sum of shard bounds) and
+// a hot key is always MRU in its own shard.
+//
+// `get` returns the value by copy: a pointer into a shard would dangle
+// the moment the shard lock is released and another thread evicts. The
+// engine stores `shared_ptr<const dpalloc_result>`, so the copy is a
+// refcount bump.
+
+#ifndef MWL_SUPPORT_SHARDED_LRU_HPP
+#define MWL_SUPPORT_SHARDED_LRU_HPP
+
+#include "support/lru_cache.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace mwl {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class sharded_lru {
+public:
+    /// `capacity` total entries split evenly across `shards` stripes
+    /// (rounded up to a power of two so routing is a mask, not a divide;
+    /// every shard holds at least one entry).
+    explicit sharded_lru(std::size_t capacity, std::size_t shards = 16)
+    {
+        require(capacity >= 1, "sharded_lru capacity must be >= 1");
+        require(shards >= 1, "sharded_lru needs at least one shard");
+        std::size_t n = 1;
+        while (n < shards && n < capacity) {
+            n <<= 1;
+        }
+        const std::size_t per_shard = (capacity + n - 1) / n;
+        shards_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            shards_.push_back(std::make_unique<shard>(per_shard));
+        }
+        mask_ = n - 1;
+    }
+
+    [[nodiscard]] std::optional<Value> get(const Key& key)
+    {
+        shard& s = shard_of(key);
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        if (const Value* hit = s.cache.get(key)) {
+            return *hit;
+        }
+        return std::nullopt;
+    }
+
+    void put(const Key& key, Value value)
+    {
+        shard& s = shard_of(key);
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        if (s.cache.put(key, std::move(value))) {
+            ++s.evictions;
+        }
+    }
+
+    /// Current entry count, summed across shards (each briefly locked).
+    [[nodiscard]] std::size_t size() const
+    {
+        std::size_t total = 0;
+        for (const auto& s : shards_) {
+            const std::lock_guard<std::mutex> lock(s->mutex);
+            total += s->cache.size();
+        }
+        return total;
+    }
+
+    /// Total evictions since construction, summed across shards.
+    [[nodiscard]] std::size_t evictions() const
+    {
+        std::size_t total = 0;
+        for (const auto& s : shards_) {
+            const std::lock_guard<std::mutex> lock(s->mutex);
+            total += s->evictions;
+        }
+        return total;
+    }
+
+    [[nodiscard]] std::size_t capacity() const
+    {
+        return shards_.size() * shards_.front()->cache.capacity();
+    }
+
+    [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+private:
+    struct shard {
+        explicit shard(std::size_t cap) : cache(cap) {}
+
+        mutable std::mutex mutex;
+        lru_cache<Key, Value, Hash> cache;
+        std::size_t evictions = 0;
+    };
+
+    [[nodiscard]] shard& shard_of(const Key& key)
+    {
+        // Fold the high bits in: the inner unordered_map already consumes
+        // the low bits of the same hash, so picking the stripe from them
+        // too would correlate stripe and bucket.
+        const std::size_t h = Hash{}(key);
+        return *shards_[(h ^ (h >> 16) ^ (h >> 32)) & mask_];
+    }
+
+    std::vector<std::unique_ptr<shard>> shards_;
+    std::size_t mask_ = 0;
+};
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_SHARDED_LRU_HPP

@@ -78,4 +78,40 @@ double max_of(std::span<const double> sample)
     return *std::max_element(sample.begin(), sample.end());
 }
 
+latency_window::latency_window(std::size_t capacity) : capacity_(capacity)
+{
+    require(capacity >= 1, "latency_window capacity must be >= 1");
+    ring_.reserve(capacity);
+}
+
+void latency_window::record(double sample)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(sample);
+    } else {
+        ring_[next_] = sample;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++recorded_;
+}
+
+latency_summary latency_window::summarize() const
+{
+    std::vector<double> window;
+    std::uint64_t count = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        window = ring_;
+        count = recorded_;
+    }
+    latency_summary out;
+    out.count = count;
+    out.mean = mean(window);
+    out.p50 = percentile(window, 50.0);
+    out.p99 = percentile(window, 99.0);
+    out.max = max_of(window);
+    return out;
+}
+
 } // namespace mwl

@@ -1,12 +1,16 @@
 // Small descriptive-statistics helpers used by the benchmark harnesses to
 // aggregate per-graph results the way the paper does (per-point means over a
-// corpus of random designs).
+// corpus of random designs), plus the sliding latency window the serve
+// daemon (src/serve/) reports p50/p99 from.
 
 #ifndef MWL_SUPPORT_STATS_HPP
 #define MWL_SUPPORT_STATS_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <span>
+#include <vector>
 
 namespace mwl {
 
@@ -25,6 +29,40 @@ namespace mwl {
 /// Smallest / largest element; 0 for an empty sample.
 [[nodiscard]] double min_of(std::span<const double> sample);
 [[nodiscard]] double max_of(std::span<const double> sample);
+
+/// Point-in-time summary of a `latency_window`. `count` is the number of
+/// samples ever recorded; the percentiles cover the retained window (the
+/// most recent min(count, capacity) samples).
+struct latency_summary {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/// Thread-safe sliding window of the most recent N samples (a ring
+/// buffer), summarised on demand. The serve daemon records every
+/// allocation's wall time here and reports p50/p99 from the stats
+/// endpoint while requests keep landing; a window, unlike a full history,
+/// keeps a week-old latency spike from haunting the percentiles forever
+/// and keeps memory flat.
+class latency_window {
+public:
+    explicit latency_window(std::size_t capacity);
+
+    void record(double sample);
+
+    /// Percentiles over the retained window; all zeros when empty.
+    [[nodiscard]] latency_summary summarize() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::vector<double> ring_;   ///< size < capacity_ while still filling
+    std::size_t next_ = 0;       ///< ring slot the next sample lands in
+    std::uint64_t recorded_ = 0; ///< lifetime sample count
+};
 
 } // namespace mwl
 

@@ -412,4 +412,78 @@ TEST(CliCampaign, ResumeRejectsASpecWithADifferentFingerprint)
                       "checkpoint was built from a different spec");
 }
 
+// ------------------------------------------------------------ mwl_serve --
+
+TEST(CliServe, AnEndpointIsRequired)
+{
+    expect_fails_with(tool("mwl_serve"), 2,
+                      "one of --unix or --tcp is required");
+}
+
+TEST(CliServe, BadNumericValuesExitTwo)
+{
+    expect_fails_with(tool("mwl_serve") + " --tcp nope", 2,
+                      "bad numeric value 'nope' for --tcp");
+    expect_fails_with(tool("mwl_serve") + " --unix s.sock --jobs -1", 2,
+                      "bad numeric value '-1' for --jobs");
+    expect_fails_with(tool("mwl_serve") + " --unix s.sock --cache", 2,
+                      "missing value for --cache");
+}
+
+TEST(CliServe, UnknownOptionExitsTwo)
+{
+    expect_fails_with(tool("mwl_serve") + " --wibble", 2,
+                      "unknown option --wibble");
+}
+
+// ----------------------------------------------------------- mwl_client --
+
+TEST(CliClient, EndpointAndCommandAreRequired)
+{
+    expect_fails_with(tool("mwl_client"), 2, "usage: mwl_client");
+    expect_fails_with(tool("mwl_client") + " unix:/tmp/x.sock", 2,
+                      "usage: mwl_client");
+}
+
+TEST(CliClient, MalformedEndpointExitsTwo)
+{
+    expect_fails_with(tool("mwl_client") + " wibble ping", 2,
+                      "endpoint must be unix:PATH or tcp:HOST:PORT");
+    expect_fails_with(tool("mwl_client") + " tcp:host:0 ping", 2,
+                      "endpoint must be unix:PATH or tcp:HOST:PORT");
+}
+
+TEST(CliClient, NobodyListeningIsARuntimeFailureNotUsage)
+{
+    expect_fails_with(tool("mwl_client") +
+                          " unix:cli_test_no_such.sock ping",
+                      1, "cannot connect to unix:cli_test_no_such.sock");
+}
+
+TEST(CliClient, BatchOnlyManifestDirectivesAreRejected)
+{
+    const std::string manifest =
+        write_manifest("cli_test_serve_sweep.manifest",
+                       "corpus ops=4 count=1 sweep=20\n");
+    expect_fails_with(tool("mwl_client") +
+                          " unix:/tmp/x.sock --manifest " + manifest,
+                      2, "sweep= is not supported over serve");
+    const std::string verify =
+        write_manifest("cli_test_serve_verify.manifest",
+                       "corpus ops=4 count=1 verify=2\n");
+    expect_fails_with(tool("mwl_client") +
+                          " unix:/tmp/x.sock --manifest " + verify,
+                      2, "verify= is not supported over serve");
+}
+
+TEST(CliClient, BadCountsExitTwo)
+{
+    expect_fails_with(tool("mwl_client") + " unix:/tmp/x.sock --conns 0 " +
+                          "--manifest -",
+                      2, "--conns and --window must be >= 1");
+    expect_fails_with(tool("mwl_client") + " unix:/tmp/x.sock --soak x " +
+                          "--manifest -",
+                      2, "bad numeric value 'x' for --soak");
+}
+
 } // namespace

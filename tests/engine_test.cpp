@@ -15,6 +15,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -144,7 +145,11 @@ TEST(BatchEngine, BoundedCacheEvictsLeastRecentlyUsed)
 {
     const sonic_model model;
     const auto corpus = make_corpus(8, 3, model, 31);
-    batch_engine engine(batch_options{.jobs = 1, .cache_capacity = 2});
+    // One stripe: recency ordering is exact. (With several stripes the
+    // bound still holds but eviction order is per-shard -- see the
+    // sharded_lru suite.)
+    batch_engine engine(
+        batch_options{.jobs = 1, .cache_capacity = 2, .cache_shards = 1});
     const auto run_one = [&](const corpus_entry& e) {
         engine.submit(e.graph, model, e.lambda_min);
         return engine.drain();
@@ -253,6 +258,126 @@ TEST(BatchEngine, InfeasibleJobReportsErrorWithoutPoisoningTheBatch)
     EXPECT_FALSE(outcomes[0].error.empty());
     ASSERT_TRUE(outcomes[1].ok()) << outcomes[1].error;
     EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+// ----------------------------- the serve-facing blocking path: run() --
+
+TEST(BatchEngine, RunMatchesDpallocAndHitsTheCacheOnRepeat)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(10, 2, model, 47);
+    batch_engine engine(batch_options{.jobs = 2, .cache_capacity = 16});
+    for (const corpus_entry& e : corpus) {
+        const dpalloc_result expected = dpalloc(e.graph, model,
+                                                e.lambda_min);
+        const batch_engine::outcome first =
+            engine.run(e.graph, model, e.lambda_min);
+        ASSERT_TRUE(first.ok()) << first.error;
+        EXPECT_FALSE(first.from_cache);
+        expect_identical_path(first.result->path, expected.path, "run");
+        const batch_engine::outcome again =
+            engine.run(e.graph, model, e.lambda_min);
+        ASSERT_TRUE(again.ok());
+        EXPECT_TRUE(again.from_cache);
+        // The cache hands back the same immutable result object.
+        EXPECT_EQ(again.result.get(), first.result.get());
+    }
+    const engine_stats s = engine.snapshot();
+    EXPECT_EQ(s.submitted, 2 * corpus.size());
+    EXPECT_EQ(s.cache_hits, corpus.size());
+    EXPECT_EQ(s.executed, corpus.size());
+    EXPECT_EQ(s.in_flight, 0u);
+}
+
+TEST(BatchEngine, RunReportsInfeasibleJobsAsErrors)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(10, 1, model, 51);
+    batch_engine engine(batch_options{.jobs = 1});
+    const batch_engine::outcome out = engine.run(corpus[0].graph, model, 1);
+    EXPECT_FALSE(out.ok());
+    EXPECT_FALSE(out.error.empty());
+    EXPECT_EQ(engine.snapshot().errors, 1u);
+}
+
+TEST(BatchEngine, ConcurrentRunsAreDeterministicAndAccounted)
+{
+    // The serve topology: many threads calling run() on a shared engine.
+    // Every caller must see the identical allocation, and the snapshot
+    // counters must balance -- each submit was a hit, a coalesce, or an
+    // execution. (A probe racing a just-finishing twin may legitimately
+    // execute twice; equal keys give byte-identical results.)
+    const sonic_model model;
+    const auto corpus = make_corpus(12, 3, model, 53);
+    batch_engine engine(batch_options{.jobs = 4, .cache_capacity = 64});
+    constexpr int threads_per_job = 4;
+    std::vector<std::vector<batch_engine::outcome>> results(
+        corpus.size(),
+        std::vector<batch_engine::outcome>(threads_per_job));
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t g = 0; g < corpus.size(); ++g) {
+            for (int t = 0; t < threads_per_job; ++t) {
+                threads.emplace_back([&, g, t] {
+                    results[g][t] = engine.run(corpus[g].graph, model,
+                                               corpus[g].lambda_min);
+                });
+            }
+        }
+        for (std::thread& t : threads) {
+            t.join();
+        }
+    }
+    for (std::size_t g = 0; g < corpus.size(); ++g) {
+        const dpalloc_result expected =
+            dpalloc(corpus[g].graph, model, corpus[g].lambda_min);
+        for (int t = 0; t < threads_per_job; ++t) {
+            ASSERT_TRUE(results[g][t].ok()) << results[g][t].error;
+            expect_identical_path(results[g][t].result->path, expected.path,
+                                  "graph " + std::to_string(g));
+        }
+    }
+    const engine_stats s = engine.snapshot();
+    EXPECT_EQ(s.submitted,
+              corpus.size() * static_cast<std::size_t>(threads_per_job));
+    EXPECT_EQ(s.cache_hits + s.coalesced + s.executed, s.submitted);
+    EXPECT_GE(s.executed, corpus.size());
+    EXPECT_EQ(s.in_flight, 0u);
+    EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(BatchEngine, RunAndSubmitShareOneCache)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(9, 2, model, 59);
+    batch_engine engine(batch_options{.jobs = 2, .cache_capacity = 16});
+    for (const corpus_entry& e : corpus) {
+        engine.submit(e.graph, model, e.lambda_min);
+    }
+    static_cast<void>(engine.drain());
+    for (const corpus_entry& e : corpus) {
+        const batch_engine::outcome out =
+            engine.run(e.graph, model, e.lambda_min);
+        ASSERT_TRUE(out.ok());
+        EXPECT_TRUE(out.from_cache);
+    }
+}
+
+TEST(BatchEngine, SnapshotCountsEvictionsOfTheStripedCache)
+{
+    const sonic_model model;
+    const auto corpus = make_corpus(8, 6, model, 61);
+    // One stripe of capacity 2: runs 3..6 must evict 1..4.
+    batch_engine engine(
+        batch_options{.jobs = 1, .cache_capacity = 2, .cache_shards = 1});
+    for (const corpus_entry& e : corpus) {
+        ASSERT_TRUE(engine.run(e.graph, model, e.lambda_min).ok());
+    }
+    const engine_stats s = engine.snapshot();
+    EXPECT_EQ(s.executed, corpus.size());
+    EXPECT_EQ(s.evictions, corpus.size() - 2);
+    EXPECT_EQ(s.cache_size, 2u);
+    EXPECT_EQ(s.cache_capacity, 2u);
 }
 
 TEST(ParallelPareto, ByteIdenticalToSerialSweepAcrossJobCounts)

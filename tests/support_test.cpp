@@ -1,9 +1,11 @@
 // Unit tests for src/support: strong ids, error primitives, the
-// deterministic RNG and the statistics helpers.
+// deterministic RNG, the statistics helpers (including the serve
+// daemon's latency window), and the lock-striped LRU cache.
 
 #include "support/error.hpp"
 #include "support/ids.hpp"
 #include "support/rng.hpp"
+#include "support/sharded_lru.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
 
@@ -11,6 +13,8 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -262,6 +266,152 @@ TEST(Stats, MinMaxOfSample)
     const std::vector<double> v{3.0, 1.0, 2.0};
     EXPECT_DOUBLE_EQ(min_of(v), 1.0);
     EXPECT_DOUBLE_EQ(max_of(v), 3.0);
+}
+
+// ----------------------------------------------------- latency window --
+
+TEST(LatencyWindow, EmptyWindowSummarisesToZeros)
+{
+    latency_window w(8);
+    const latency_summary s = w.summarize();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.p50, 0.0);
+    EXPECT_DOUBLE_EQ(s.p99, 0.0);
+    EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(LatencyWindow, SummarisesAKnownSample)
+{
+    latency_window w(8);
+    for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+        w.record(v);
+    }
+    const latency_summary s = w.summarize();
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.p50, 3.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(LatencyWindow, RingRetainsOnlyTheNewestSamples)
+{
+    latency_window w(4);
+    for (int i = 1; i <= 10; ++i) {
+        w.record(static_cast<double>(i));
+    }
+    const latency_summary s = w.summarize();
+    // count is lifetime; the percentiles cover the retained {7,8,9,10}.
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_DOUBLE_EQ(s.mean, 8.5);
+    EXPECT_DOUBLE_EQ(s.p50, 8.5);
+    EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(LatencyWindow, ConcurrentRecordersDoNotLoseCounts)
+{
+    latency_window w(64);
+    constexpr int threads = 4;
+    constexpr int per_thread = 1000;
+    {
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&w] {
+                for (int i = 0; i < per_thread; ++i) {
+                    w.record(1.0);
+                }
+            });
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
+    }
+    const latency_summary s = w.summarize();
+    EXPECT_EQ(s.count, static_cast<std::uint64_t>(threads) * per_thread);
+    EXPECT_DOUBLE_EQ(s.p99, 1.0);
+}
+
+// -------------------------------------------------------- sharded lru --
+
+TEST(ShardedLru, RoundTripsAndMisses)
+{
+    sharded_lru<int, std::string> cache(64, 4);
+    EXPECT_FALSE(cache.get(1).has_value());
+    cache.put(1, "one");
+    cache.put(2, "two");
+    ASSERT_TRUE(cache.get(1).has_value());
+    EXPECT_EQ(*cache.get(1), "one");
+    EXPECT_EQ(*cache.get(2), "two");
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    cache.put(1, "uno"); // overwrite, not a new entry
+    EXPECT_EQ(*cache.get(1), "uno");
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLru, ShardCountRoundsUpToAPowerOfTwo)
+{
+    EXPECT_EQ((sharded_lru<int, int>(64, 1).shard_count()), 1u);
+    EXPECT_EQ((sharded_lru<int, int>(64, 5).shard_count()), 8u);
+    EXPECT_EQ((sharded_lru<int, int>(64, 16).shard_count()), 16u);
+    // A tiny capacity caps the stripe count; every shard holds >= 1
+    // entry and the total bound never shrinks below what was asked for.
+    EXPECT_EQ((sharded_lru<int, int>(3, 16).shard_count()), 4u);
+    EXPECT_GE((sharded_lru<int, int>(3, 16).capacity()), 3u);
+    EXPECT_EQ((sharded_lru<int, int>(1, 16).shard_count()), 1u);
+}
+
+TEST(ShardedLru, SingleShardEvictsLeastRecentlyUsedAndCounts)
+{
+    sharded_lru<int, int> cache(2, 1);
+    cache.put(1, 10);
+    cache.put(2, 20);
+    ASSERT_TRUE(cache.get(1).has_value()); // 1 is now MRU
+    cache.put(3, 30);                      // evicts 2
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.get(1).has_value());
+    EXPECT_FALSE(cache.get(2).has_value());
+    EXPECT_TRUE(cache.get(3).has_value());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLru, BoundHoldsAcrossShards)
+{
+    sharded_lru<int, int> cache(16, 4);
+    for (int i = 0; i < 1000; ++i) {
+        cache.put(i, i);
+    }
+    EXPECT_LE(cache.size(), cache.capacity());
+    EXPECT_GE(cache.evictions(), 1000 - cache.capacity());
+}
+
+TEST(ShardedLru, ConcurrentMixedTrafficStaysBoundedAndConsistent)
+{
+    // TSan coverage for the striping itself: hammer a small cache from
+    // several threads with overlapping key ranges.
+    sharded_lru<int, int> cache(32, 8);
+    constexpr int threads = 4;
+    constexpr int ops = 5000;
+    {
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&cache, t] {
+                for (int i = 0; i < ops; ++i) {
+                    const int key = (i + t * 13) % 64;
+                    if (const auto hit = cache.get(key)) {
+                        // A present value is always the one put for its key.
+                        EXPECT_EQ(*hit, key * 3);
+                    } else {
+                        cache.put(key, key * 3);
+                    }
+                }
+            });
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
+    }
+    EXPECT_LE(cache.size(), cache.capacity());
 }
 
 // -------------------------------------------------------------- timer --

@@ -1,0 +1,629 @@
+// mwl_client -- client CLI for the mwl_serve allocation daemon.
+//
+// Three shapes of use:
+//
+//  * One-shot commands against a running daemon:
+//      mwl_client unix:/tmp/mwl.sock ping
+//      mwl_client unix:/tmp/mwl.sock stats            # stats JSON
+//      mwl_client unix:/tmp/mwl.sock alloc fir.mwl lambda=12
+//
+//  * Manifest mode -- the mwl_batch manifest grammar (graph/corpus lines
+//    with lambda=/slack=; sweep=/verify= are batch-only) pushed through
+//    the daemon from C concurrent connections, results reported in
+//    manifest order in the same table/JSON shape as mwl_batch:
+//      mwl_client unix:/tmp/mwl.sock --manifest jobs.txt --conns 8
+//
+//  * Soak mode -- each connection sends N requests cycling through the
+//    manifest items (pipelined up to --window, honouring busy
+//    retry-after backoff), reporting achieved requests/s:
+//      echo 'corpus ops=10 count=32' |
+//        mwl_client unix:/tmp/mwl.sock --manifest - --soak 200 --conns 8
+//
+// Exit codes: 0 all responses ok; 1 connect failure, server-reported
+// errors, or an unexpected disconnect (tolerated with
+// --tolerate-disconnect, for soaks that outlive a draining server);
+// 2 usage or manifest errors.
+
+#include "io/graph_io.hpp"
+#include "report/table.hpp"
+#include "serve/client.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+#include "tgff/corpus.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace {
+
+using namespace mwl;
+
+[[noreturn]] void usage(int code)
+{
+    std::cout <<
+        "usage: mwl_client ENDPOINT COMMAND|--manifest FILE [options]\n"
+        "  ENDPOINT             unix:PATH or tcp:HOST:PORT\n"
+        "commands:\n"
+        "  ping                 round-trip check\n"
+        "  stats                print the server's stats JSON\n"
+        "  alloc FILE [lambda=N|slack=PCT]   allocate one .mwl graph\n"
+        "manifest mode:\n"
+        "  --manifest FILE      mwl_batch manifest ('-' = stdin);\n"
+        "                       graph/corpus lines with lambda=/slack=\n"
+        "  --conns C            concurrent connections [1]\n"
+        "  --soak N             N requests per connection, cycling the\n"
+        "                       manifest items; reports requests/s\n"
+        "  --window W           pipelined requests per connection [16]\n"
+        "  --json FILE          write results + stats as JSON\n"
+        "  --csv                CSV on stdout instead of the table\n"
+        "  --tolerate-disconnect   a server drain mid-soak is not an error\n";
+    std::exit(code);
+}
+
+/// One expanded manifest entry, pre-serialised for the wire.
+struct serve_item {
+    std::string name;
+    std::string graph_text;
+    std::optional<int> lambda;
+    double slack = 0.0;
+};
+
+/// Completed allocation for one item (manifest mode).
+struct result_row {
+    bool have = false;
+    bool ok = false;
+    int lambda = 0;
+    int latency = 0;
+    double area = 0.0;
+    bool cached = false;
+    bool coalesced = false;
+    std::string message;
+};
+
+/// Shared tallies across connection workers.
+struct soak_totals {
+    std::mutex mutex;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t busy_retries = 0;
+    std::uint64_t disconnects = 0;
+    std::uint64_t lost = 0; ///< outstanding when a connection died
+    std::uint64_t connect_failures = 0;
+    std::vector<double> latencies_ms; ///< client-observed round trips
+};
+
+/// lambda=/slack= on a manifest line; rejects the batch-only directives.
+bool take_directive(const std::string& token, serve_item& out)
+{
+    const auto value_of =
+        [&](const char* prefix) -> std::optional<std::string> {
+        const std::size_t n = std::string(prefix).size();
+        if (token.rfind(prefix, 0) == 0) {
+            return token.substr(n);
+        }
+        return std::nullopt;
+    };
+    try {
+        if (const auto v = value_of("lambda=")) {
+            out.lambda = std::stoi(*v);
+            return true;
+        }
+        if (const auto v = value_of("slack=")) {
+            out.slack = std::stod(*v) / 100.0;
+            require(out.slack >= 0.0, "slack must be non-negative");
+            return true;
+        }
+    } catch (const std::invalid_argument&) {
+        require(false, "bad numeric value in '" + token + "'");
+    } catch (const std::out_of_range&) {
+        require(false, "numeric value out of range in '" + token + "'");
+    }
+    require(token.rfind("sweep=", 0) != 0,
+            "sweep= is not supported over serve (use mwl_batch)");
+    require(token.rfind("verify=", 0) != 0,
+            "verify= is not supported over serve (use mwl_batch)");
+    return false;
+}
+
+std::vector<serve_item> parse_manifest(std::istream& in)
+{
+    std::vector<serve_item> items;
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::istringstream line(raw);
+        std::string keyword;
+        if (!(line >> keyword) || keyword.front() == '#') {
+            continue;
+        }
+        const auto fail = [&](const std::string& message) {
+            std::cerr << "mwl_client: manifest line " << line_no << ": "
+                      << message << '\n';
+            std::exit(2);
+        };
+        try {
+            if (keyword == "graph") {
+                std::string path;
+                if (!(line >> path)) {
+                    fail("expected 'graph FILE ...'");
+                }
+                serve_item item;
+                item.name = path;
+                std::string token;
+                while (line >> token) {
+                    if (!take_directive(token, item)) {
+                        fail("unknown graph token '" + token + "'");
+                    }
+                }
+                std::ifstream gf(path);
+                if (!gf) {
+                    fail("cannot open graph file " + path);
+                }
+                item.graph_text = write_graph(parse_graph(gf));
+                items.push_back(std::move(item));
+            } else if (keyword == "corpus") {
+                serve_item prototype;
+                std::vector<std::string> spec_tokens;
+                std::string token;
+                while (line >> token) {
+                    if (!take_directive(token, prototype)) {
+                        spec_tokens.push_back(token);
+                    }
+                }
+                const corpus_spec spec = corpus_spec::parse(spec_tokens);
+                const sonic_model probe;
+                for (corpus_entry& e : make_corpus(spec, probe)) {
+                    serve_item item = prototype;
+                    item.name = "tgff(ops=" + std::to_string(spec.n_ops) +
+                                ",seed=" + std::to_string(spec.seed) +
+                                ")#" + std::to_string(items.size());
+                    item.graph_text = write_graph(e.graph);
+                    items.push_back(std::move(item));
+                }
+            } else {
+                fail("unknown keyword '" + keyword + "'");
+            }
+        } catch (const error& e) {
+            fail(e.what());
+        }
+    }
+    return items;
+}
+
+std::string json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    return out;
+}
+
+/// One connection's share of the run: non-soak partitions the items
+/// (worker c owns items c, c+C, ...); soak cycles all of them. Pipelines
+/// up to `window` outstanding requests, retries busy rejections after
+/// the server's suggested backoff.
+void run_connection(const serve::endpoint& ep, std::size_t conn_index,
+                    std::size_t conns, const std::vector<serve_item>& items,
+                    std::size_t soak_requests, std::size_t window,
+                    std::vector<result_row>* rows, soak_totals& totals)
+{
+    std::vector<std::size_t> mine;
+    if (soak_requests == 0) {
+        for (std::size_t i = conn_index; i < items.size(); i += conns) {
+            mine.push_back(i);
+        }
+    }
+    const std::size_t total =
+        soak_requests != 0 ? soak_requests : mine.size();
+    if (total == 0) {
+        return;
+    }
+    const auto item_of = [&](std::size_t seq) {
+        return soak_requests != 0
+                   ? (conn_index + seq * conns) % items.size()
+                   : mine[seq];
+    };
+
+    std::unique_ptr<serve::client_connection> conn;
+    try {
+        conn = std::make_unique<serve::client_connection>(ep);
+    } catch (const error& e) {
+        const std::lock_guard<std::mutex> lock(totals.mutex);
+        ++totals.connect_failures;
+        if (totals.connect_failures == 1) {
+            std::cerr << "mwl_client: " << e.what() << '\n';
+        }
+        return;
+    }
+
+    std::unordered_map<std::uint64_t, std::size_t> outstanding;
+    std::unordered_map<std::uint64_t, stopwatch> sent_at;
+    std::size_t next = 0;
+    std::size_t done = 0;
+    std::uint64_t busy = 0;
+    std::vector<double> latencies;
+    bool disconnected = false;
+
+    const auto send_seq = [&](std::uint64_t id, std::size_t item_index) {
+        const serve_item& item = items[item_index];
+        sent_at[id] = stopwatch();
+        return conn->send(serve::format_alloc_request(
+            id, item.lambda, item.slack, item.graph_text));
+    };
+
+    while (done < total && !disconnected) {
+        while (outstanding.size() < window && next < total) {
+            const std::size_t item_index = item_of(next);
+            if (!send_seq(next, item_index)) {
+                disconnected = true;
+                break;
+            }
+            outstanding[next] = item_index;
+            ++next;
+        }
+        if (disconnected || outstanding.empty()) {
+            break;
+        }
+        std::optional<serve::response> resp;
+        try {
+            resp = conn->receive();
+        } catch (const serve::protocol_error&) {
+            resp = std::nullopt;
+        }
+        if (!resp) {
+            disconnected = true;
+            break;
+        }
+        const auto it = outstanding.find(resp->id);
+        if (it == outstanding.end()) {
+            continue; // response to a request we no longer track
+        }
+        if (resp->what == serve::response::status::busy) {
+            ++busy;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(resp->retry_after_ms));
+            if (!send_seq(resp->id, it->second)) {
+                disconnected = true;
+            }
+            continue;
+        }
+        latencies.push_back(sent_at[resp->id].milliseconds());
+        sent_at.erase(resp->id);
+        const bool ok = resp->what == serve::response::status::ok;
+        if (rows != nullptr) {
+            result_row& row = (*rows)[it->second];
+            row.have = true;
+            row.ok = ok;
+            row.lambda = resp->lambda;
+            row.latency = resp->latency;
+            row.area = resp->area;
+            row.cached = resp->cached;
+            row.coalesced = resp->coalesced;
+            row.message = resp->message;
+        }
+        {
+            const std::lock_guard<std::mutex> lock(totals.mutex);
+            if (ok) {
+                ++totals.ok;
+            } else {
+                ++totals.errors;
+            }
+        }
+        outstanding.erase(it);
+        ++done;
+    }
+
+    const std::lock_guard<std::mutex> lock(totals.mutex);
+    totals.busy_retries += busy;
+    if (disconnected) {
+        ++totals.disconnects;
+        totals.lost += outstanding.size() + (total - next);
+    }
+    totals.latencies_ms.insert(totals.latencies_ms.end(),
+                               latencies.begin(), latencies.end());
+}
+
+int one_shot(const serve::endpoint& ep, const std::string& command,
+             const std::vector<std::string>& args)
+{
+    serve::client_connection conn(ep);
+    std::string payload;
+    if (command == "ping") {
+        payload = serve::format_ping_request(1);
+    } else if (command == "stats") {
+        payload = serve::format_stats_request(1);
+    } else if (command == "alloc") {
+        if (args.empty()) {
+            std::cerr << "mwl_client: alloc needs a graph file\n";
+            usage(2);
+        }
+        serve_item item;
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            if (!take_directive(args[i], item)) {
+                std::cerr << "mwl_client: unknown alloc token '" << args[i]
+                          << "'\n";
+                usage(2);
+            }
+        }
+        std::ifstream gf(args[0]);
+        if (!gf) {
+            std::cerr << "mwl_client: cannot open graph file " << args[0]
+                      << '\n';
+            return 2;
+        }
+        payload = serve::format_alloc_request(
+            1, item.lambda, item.slack, write_graph(parse_graph(gf)));
+    } else {
+        std::cerr << "mwl_client: unknown command '" << command << "'\n";
+        usage(2);
+    }
+    if (!conn.send(payload)) {
+        std::cerr << "mwl_client: server closed the connection\n";
+        return 1;
+    }
+    const auto resp = conn.receive();
+    if (!resp) {
+        std::cerr << "mwl_client: server closed the connection\n";
+        return 1;
+    }
+    switch (resp->what) {
+    case serve::response::status::ok:
+        if (command == "stats") {
+            std::cout << resp->body << '\n';
+        } else if (command == "ping") {
+            std::cout << "ok\n";
+        } else {
+            std::cout << "ok lambda=" << resp->lambda
+                      << " latency=" << resp->latency
+                      << " area=" << resp->area
+                      << " cached=" << (resp->cached ? 1 : 0)
+                      << " micros=" << resp->micros << '\n';
+        }
+        return 0;
+    case serve::response::status::busy:
+        std::cout << "busy retry-after-ms=" << resp->retry_after_ms << '\n';
+        return 1;
+    case serve::response::status::error:
+        std::cerr << "mwl_client: server error: " << resp->message << '\n';
+        return 1;
+    }
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::string endpoint_text;
+    std::string command;
+    std::vector<std::string> command_args;
+    std::string manifest_file;
+    std::size_t conns = 1;
+    std::size_t soak_requests = 0;
+    std::size_t window = 16;
+    std::string json_file;
+    bool csv = false;
+    bool tolerate_disconnect = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "mwl_client: missing value for " << arg << '\n';
+                usage(2);
+            }
+            return argv[++i];
+        };
+        const auto count_value = [&]() -> std::size_t {
+            const std::string text = value();
+            try {
+                if (!text.empty() && text[0] == '-') {
+                    throw std::invalid_argument(text);
+                }
+                return std::stoul(text);
+            } catch (const std::exception&) {
+                std::cerr << "mwl_client: bad numeric value '" << text
+                          << "' for " << arg << '\n';
+                usage(2);
+            }
+        };
+        if (arg == "--manifest") {
+            manifest_file = value();
+        } else if (arg == "--conns") {
+            conns = count_value();
+        } else if (arg == "--soak") {
+            soak_requests = count_value();
+        } else if (arg == "--window") {
+            window = count_value();
+        } else if (arg == "--json") {
+            json_file = value();
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--tolerate-disconnect") {
+            tolerate_disconnect = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::cerr << "mwl_client: unknown option " << arg << '\n';
+            usage(2);
+        } else if (endpoint_text.empty()) {
+            endpoint_text = arg;
+        } else if (command.empty() && manifest_file.empty()) {
+            command = arg;
+        } else {
+            command_args.push_back(arg);
+        }
+    }
+    if (endpoint_text.empty() ||
+        (command.empty() && manifest_file.empty())) {
+        usage(2);
+    }
+    if (conns < 1 || window < 1) {
+        std::cerr << "mwl_client: --conns and --window must be >= 1\n";
+        usage(2);
+    }
+
+    try {
+        const serve::endpoint ep = serve::parse_endpoint(endpoint_text);
+
+        if (manifest_file.empty()) {
+            return one_shot(ep, command, command_args);
+        }
+
+        // ---- manifest / soak mode ------------------------------------
+        std::ifstream file_in;
+        std::istream* in = &std::cin;
+        if (manifest_file != "-") {
+            file_in.open(manifest_file);
+            if (!file_in) {
+                std::cerr << "mwl_client: cannot open " << manifest_file
+                          << '\n';
+                return 1;
+            }
+            in = &file_in;
+        }
+        const std::vector<serve_item> items = parse_manifest(*in);
+        if (items.empty()) {
+            std::cerr << "mwl_client: manifest has no entries\n";
+            return 2;
+        }
+
+        std::vector<result_row> rows(items.size());
+        soak_totals totals;
+        stopwatch clock;
+        {
+            std::vector<std::thread> workers;
+            workers.reserve(conns);
+            for (std::size_t c = 0; c < conns; ++c) {
+                workers.emplace_back([&, c] {
+                    run_connection(ep, c, conns, items, soak_requests,
+                                   window,
+                                   soak_requests == 0 ? &rows : nullptr,
+                                   totals);
+                });
+            }
+            for (std::thread& w : workers) {
+                w.join();
+            }
+        }
+        const double wall = clock.seconds();
+        const std::uint64_t answered = totals.ok + totals.errors;
+        const double throughput =
+            wall > 0.0 ? static_cast<double>(answered) / wall : 0.0;
+
+        std::ostringstream json;
+        json << "{\"results\":[";
+        bool first = true;
+        int failures = 0;
+        if (soak_requests == 0) {
+            table t("mwl_client results");
+            t.header({"entry", "kind", "lambda", "latency", "area",
+                      "status"});
+            for (std::size_t i = 0; i < items.size(); ++i) {
+                const result_row& row = rows[i];
+                if (!row.have) {
+                    continue; // lost to a disconnect: no fabricated rows
+                }
+                const std::string status =
+                    !row.ok ? "error: " + row.message
+                    : row.cached ? "cached"
+                    : row.coalesced ? "coalesced"
+                                    : "computed";
+                if (!row.ok) {
+                    ++failures;
+                }
+                t.row({items[i].name, "alloc", table::num(row.lambda),
+                       table::num(row.latency), table::num(row.area, 1),
+                       status});
+                json << (first ? "" : ",") << "{\"entry\":\""
+                     << json_escape(items[i].name)
+                     << "\",\"kind\":\"alloc\",\"lambda\":" << row.lambda
+                     << ",\"latency\":" << row.latency
+                     << ",\"area\":" << row.area << ",\"status\":\""
+                     << json_escape(status) << "\"}";
+                first = false;
+            }
+            if (csv) {
+                t.print_csv(std::cout);
+            } else {
+                t.print(std::cout);
+            }
+        }
+
+        double p50 = 0.0;
+        double p99 = 0.0;
+        {
+            p50 = percentile(totals.latencies_ms, 50.0);
+            p99 = percentile(totals.latencies_ms, 99.0);
+        }
+        json << "],\"stats\":{\"entries\":" << items.size()
+             << ",\"conns\":" << conns
+             << ",\"requests\":" << answered
+             << ",\"ok\":" << totals.ok
+             << ",\"errors\":" << totals.errors
+             << ",\"busy_retries\":" << totals.busy_retries
+             << ",\"disconnects\":" << totals.disconnects
+             << ",\"lost\":" << totals.lost
+             << ",\"latency_p50_ms\":" << p50
+             << ",\"latency_p99_ms\":" << p99
+             << ",\"wall_seconds\":" << wall
+             << ",\"requests_per_second\":" << throughput << "}}";
+
+        std::cout << "\nserve: " << answered << " responses ("
+                  << totals.ok << " ok, " << totals.errors << " errors, "
+                  << totals.busy_retries << " busy retries, "
+                  << totals.disconnects << " disconnects) over " << conns
+                  << " conns, " << table::num(wall * 1e3, 1) << " ms, "
+                  << table::num(throughput, 1) << " req/s, p50 "
+                  << table::num(p50, 2) << " ms, p99 "
+                  << table::num(p99, 2) << " ms\n";
+
+        if (!json_file.empty()) {
+            std::ofstream out(json_file);
+            if (!out) {
+                std::cerr << "mwl_client: cannot write " << json_file
+                          << '\n';
+                return 1;
+            }
+            out << json.str() << '\n';
+            std::cout << "json written to " << json_file << '\n';
+        }
+
+        if (totals.connect_failures != 0) {
+            return 1;
+        }
+        if (failures != 0 || totals.errors != 0) {
+            return 1;
+        }
+        if (totals.disconnects != 0 && !tolerate_disconnect) {
+            std::cerr << "mwl_client: " << totals.disconnects
+                      << " connection(s) closed with " << totals.lost
+                      << " request(s) unanswered\n";
+            return 1;
+        }
+        return 0;
+    } catch (const precondition_error& e) {
+        std::cerr << "mwl_client: " << e.what() << '\n';
+        return 2;
+    } catch (const error& e) {
+        std::cerr << "mwl_client: " << e.what() << '\n';
+        return 1;
+    }
+}
