@@ -133,7 +133,6 @@ int main(int argc, char** argv)
         static_cast<double>(corpus.size());
 
     const double speedup = ms_jobs8 > 0.0 ? ms_jobs1 / ms_jobs8 : 0.0;
-    const unsigned hardware = std::thread::hardware_concurrency();
 
     table t("Batch sweep throughput: " + std::to_string(opt.graphs) +
             " graphs, |O| = " + std::to_string(n_ops) +
@@ -160,7 +159,7 @@ int main(int argc, char** argv)
     json << "{\"bench\":\"batch_throughput\",\"graphs\":" << opt.graphs
          << ",\"n_ops\":" << n_ops << ",\"seed\":" << opt.seed
          << ",\"sweep_slack\":" << sweep.max_slack
-         << ",\"hardware_concurrency\":" << hardware
+         << ',' << bench::env_json()
          << ",\"serial_ms\":" << serial_ms << ",\"jobs1_ms\":" << ms_jobs1
          << ",\"jobs8_ms\":" << ms_jobs8
          << ",\"speedup_jobs8_vs_jobs1\":" << speedup

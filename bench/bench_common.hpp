@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 namespace mwl::bench {
 
@@ -65,6 +66,19 @@ inline bench_options parse_options(int argc, char** argv,
         }
     }
     return opt;
+}
+
+/// Execution-environment fragment for every BENCH_*.json artifact:
+/// `"hardware_concurrency":N,"multicore_valid":B` (no braces, ready to
+/// splice into an object). multicore_valid says whether multi-job speedup
+/// numbers from this run mean anything -- on a single-core container a
+/// ~1x jobs-8 curve is the machine's fault, not a regression, and artifact
+/// consumers must be able to tell the difference.
+inline std::string env_json()
+{
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return "\"hardware_concurrency\":" + std::to_string(hardware) +
+           ",\"multicore_valid\":" + (hardware >= 2 ? "true" : "false");
 }
 
 inline void emit(const table& t, const bench_options& opt)

@@ -109,8 +109,8 @@ int main(int argc, char** argv)
     const double overhead =
         every64.ms > 0.0 ? every1.ms / every64.ms : 0.0;
     std::ostringstream json;
-    json << "{\"bench\":\"campaign_throughput\",\"points\":"
-         << points.size() << ",\"variants\":" << variants + 1
+    json << "{\"bench\":\"campaign_throughput\"," << bench::env_json()
+         << ",\"points\":" << points.size() << ",\"variants\":" << variants + 1
          << ",\"seed\":" << opt.seed
          << ",\"checkpoint64_ms\":" << every64.ms
          << ",\"checkpoint1_ms\":" << every1.ms

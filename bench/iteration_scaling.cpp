@@ -48,7 +48,8 @@ int main(int argc, char** argv)
     t.header({"|O|", "reference ms", "incremental ms", "speedup"});
 
     std::ostringstream json;
-    json << "{\"bench\":\"iteration_scaling\",\"graphs\":" << opt.graphs
+    json << "{\"bench\":\"iteration_scaling\"," << bench::env_json()
+         << ",\"graphs\":" << opt.graphs
          << ",\"seed\":" << opt.seed << ",\"points\":[";
 
     // Best of `reps` repetitions per arm: scheduler noise only ever adds

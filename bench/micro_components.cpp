@@ -12,10 +12,14 @@
 #include "sched/force_directed.hpp"
 #include "sched/incomplete_scheduler.hpp"
 #include "sched/scheduling_set.hpp"
+#include "support/arena.hpp"
+#include "support/bitset.hpp"
 #include "tgff/corpus.hpp"
 #include "wcg/wcg.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <set>
 
 namespace {
 
@@ -105,6 +109,93 @@ void bm_dpalloc_full(benchmark::State& state)
     }
 }
 BENCHMARK(bm_dpalloc_full)->Arg(8)->Arg(16)->Arg(24);
+
+// -- support kernels ----------------------------------------------------
+//
+// The word-parallel bitset kernels and the bump arena back the large-graph
+// hot paths (support/bitset.hpp, support/arena.hpp). These arms pit each
+// against the idiomatic std:: container it replaced, at the set sizes the
+// |O| = 500-2000 tier actually sees.
+
+void bm_bitset_andnot_count(benchmark::State& state)
+{
+    const std::size_t bits = static_cast<std::size_t>(state.range(0));
+    rng random(0xB175 + bits);
+    std::vector<std::uint64_t> a(bits_words(bits), 0);
+    std::vector<std::uint64_t> b(bits_words(bits), 0);
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (random.chance(0.3)) {
+            bits_set(a.data(), i);
+        }
+        if (random.chance(0.3)) {
+            bits_set(b.data(), i);
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bits_andnot_count(a.data(), b.data(), a.size()));
+    }
+}
+BENCHMARK(bm_bitset_andnot_count)->Arg(512)->Arg(1024)->Arg(2048);
+
+void bm_stdset_difference_count(benchmark::State& state)
+{
+    // Reference arm: the same |A \ B| query over sorted node sets, the
+    // representation the bitset kernels replaced.
+    const std::size_t bits = static_cast<std::size_t>(state.range(0));
+    rng random(0xB175 + bits);
+    std::set<std::uint32_t> a;
+    std::set<std::uint32_t> b;
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (random.chance(0.3)) {
+            a.insert(static_cast<std::uint32_t>(i));
+        }
+        if (random.chance(0.3)) {
+            b.insert(static_cast<std::uint32_t>(i));
+        }
+    }
+    for (auto _ : state) {
+        std::size_t count = 0;
+        for (const std::uint32_t v : a) {
+            count += b.count(v) == 0 ? 1u : 0u;
+        }
+        benchmark::DoNotOptimize(count);
+    }
+}
+BENCHMARK(bm_stdset_difference_count)->Arg(512)->Arg(1024)->Arg(2048);
+
+void bm_arena_scratch_rows(benchmark::State& state)
+{
+    // One CSR-style scratch build per iteration: 256 rows of varying
+    // length from a rewound arena (the incomplete-scheduler S(o) pattern).
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    bump_arena arena;
+    for (auto _ : state) {
+        arena.reset();
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::span<std::size_t> row =
+                arena.alloc<std::size_t>(r % 7 + 1);
+            row[0] = r;
+            benchmark::DoNotOptimize(row.data());
+        }
+    }
+}
+BENCHMARK(bm_arena_scratch_rows)->Arg(256)->Arg(1024)->Arg(2048);
+
+void bm_vector_scratch_rows(benchmark::State& state)
+{
+    // Reference arm: the per-row heap vectors the arena replaced.
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        std::vector<std::vector<std::size_t>> table(rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            table[r].resize(r % 7 + 1);
+            table[r][0] = r;
+        }
+        benchmark::DoNotOptimize(table.data());
+    }
+}
+BENCHMARK(bm_vector_scratch_rows)->Arg(256)->Arg(1024)->Arg(2048);
 
 void bm_ilp_build(benchmark::State& state)
 {

@@ -65,8 +65,8 @@ int main(int argc, char** argv)
     t.header({"scenario", "allocator", "ops", "lambda", "latency", "area",
               "ms/alloc", "alloc/s"});
     std::ostringstream json;
-    json << "{\"bench\":\"scenario_throughput\",\"reps\":" << reps
-         << ",\"points\":[";
+    json << "{\"bench\":\"scenario_throughput\"," << bench::env_json()
+         << ",\"reps\":" << reps << ",\"points\":[";
     bool first = true;
     for (const scenario& s : scenarios) {
         const int lambda =

@@ -201,8 +201,7 @@ int main(int argc, char** argv)
     json << "{\"bench\":\"serve_throughput\",\"graphs\":" << opt.graphs
          << ",\"n_ops\":" << n_ops << ",\"seed\":" << opt.seed
          << ",\"conns\":" << conns << ",\"window\":" << window
-         << ",\"hardware_concurrency\":"
-         << std::thread::hardware_concurrency() << ",\"cold\":{"
+         << ',' << bench::env_json() << ",\"cold\":{"
          << "\"requests\":" << cold_requests << ",\"ms\":" << cold_ms
          << ",\"req_per_s\":" << rate(cold_requests, cold_ms)
          << "},\"warm\":{\"requests\":" << warm_requests

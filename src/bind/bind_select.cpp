@@ -194,21 +194,150 @@ binding bind_select(const wordlength_compatibility_graph& wcg,
         sc.chain_users[o].clear();
     }
 
+    // Presorted candidate orders, built once per call: the canonical chain
+    // order (start, finish, id) and the by-finish order are properties of
+    // the schedule alone, so distributing two global op orders over the
+    // O(r) rows yields every resource's candidate list in both orders in
+    // O(|H|) -- Chvátal-round recomputes then only *filter* covered
+    // operations out and never sort (wcg/chains.hpp,
+    // longest_chain_presorted).
+    if (options.cache_chains) {
+        sc.res_canon.resize(std::max(sc.res_canon.size(), n_res));
+        sc.res_finish.resize(std::max(sc.res_finish.size(), n_res));
+        for (std::size_t r = 0; r < n_res; ++r) {
+            sc.res_canon[r].clear();
+            sc.res_finish[r].clear();
+        }
+        // Both global orders have keys bounded by the schedule horizon, so
+        // three stable counting-sort passes replace two comparison sorts:
+        //   ids asc --finish--> (finish, id) --start--> (start, finish, id)
+        // which is the canonical order, then canonical --finish-->
+        // (finish, canonical rank), the by-finish order.
+        int max_finish = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            max_finish = std::max(max_finish, start_times[i] + latencies[i]);
+        }
+        auto& order = sc.order;
+        auto& order2 = sc.order2;
+        order.resize(n);
+        order2.resize(n);
+        auto& count = sc.count;
+        const auto counting_pass = [&](auto&& key, const std::uint32_t* in,
+                                       std::uint32_t* out) {
+            count.assign(static_cast<std::size_t>(max_finish) + 1, 0);
+            for (std::size_t i = 0; i < n; ++i) {
+                ++count[static_cast<std::size_t>(
+                    key(in ? in[i] : static_cast<std::uint32_t>(i)))];
+            }
+            std::uint32_t total = 0;
+            for (auto& c : count) {
+                const std::uint32_t c0 = c;
+                c = total;
+                total += c0;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint32_t v =
+                    in ? in[i] : static_cast<std::uint32_t>(i);
+                out[count[static_cast<std::size_t>(key(v))]++] = v;
+            }
+        };
+        const auto fin_key = [&](std::uint32_t v) {
+            return start_times[v] + latencies[v];
+        };
+        const auto start_key = [&](std::uint32_t v) {
+            return start_times[v];
+        };
+        counting_pass(fin_key, nullptr, order2.data());
+        counting_pass(start_key, order2.data(), order.data());
+        sc.canon_rank.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            sc.canon_rank[order[i]] = static_cast<std::uint32_t>(i);
+        }
+        for (const std::uint32_t ov : order) {
+            const op_id o{ov};
+            const timed_op item = make_timed(o, start_times, latencies);
+            for (const res_id r : wcg.resources_for(o)) {
+                sc.res_canon[r.value()].push_back(item);
+            }
+        }
+        // By-finish: (finish asc, canonical rank asc); restricted to each
+        // O(r) this is exactly the (finish, local index) order the sweep
+        // needs, because local indices increase with canonical rank.
+        counting_pass(fin_key, order.data(), order2.data());
+        order.swap(order2);
+        for (const std::uint32_t ov : order) {
+            const op_id o{ov};
+            const std::uint32_t rank = sc.canon_rank[ov];
+            for (const res_id r : wcg.resources_for(o)) {
+                sc.res_finish[r.value()].push_back(rank);
+            }
+        }
+        // Ranks -> local indices: the canonical distribution above visited
+        // each row in ascending global rank, so a row position IS the local
+        // index; one scratch map per row translates the stored ranks.
+        auto& rank_to_local = sc.remap;
+        rank_to_local.resize(std::max(rank_to_local.size(), n));
+        for (std::size_t r = 0; r < n_res; ++r) {
+            const auto& canon = sc.res_canon[r];
+            for (std::size_t li = 0; li < canon.size(); ++li) {
+                rank_to_local[sc.canon_rank[canon[li].op.value()]] =
+                    static_cast<std::uint32_t>(li);
+            }
+            for (auto& entry : sc.res_finish[r]) {
+                entry = rank_to_local[entry];
+            }
+        }
+    }
+
     const auto recompute = [&](res_id r) -> const std::vector<timed_op>& {
         std::vector<timed_op>& chain = sc.entry_chain[r.value()];
         std::vector<timed_op>& candidates = sc.candidates;
         candidates.clear();
-        for (const op_id o : wcg.ops_for(r)) {
-            if (!covered[o.value()]) {
-                candidates.push_back(make_timed(o, start_times, latencies));
-            }
-        }
         if (options.cache_chains) {
-            longest_chain_into(candidates, sc.chains, chain);
+            // Filter the presorted orders down to uncovered operations --
+            // no per-round sorting (longest_chain_presorted) -- and keep
+            // the compacted orders: a covered operation never becomes a
+            // candidate again within this call, so later recomputes of the
+            // same resource walk only the survivors.
+            auto& canon = sc.res_canon[r.value()];
+            auto& finish = sc.res_finish[r.value()];
+            constexpr std::uint32_t npos32 = ~std::uint32_t{0};
+            // The row was last compacted to exactly the then-uncovered
+            // operations, so anything got covered since iff the survivor
+            // count moved -- an O(1) test.
+            if (sc.survivors[r.value()] != canon.size()) {
+                auto& remap = sc.remap;
+                remap.resize(std::max(remap.size(), canon.size()));
+                for (std::size_t li = 0; li < canon.size(); ++li) {
+                    if (!covered[canon[li].op.value()]) {
+                        remap[li] =
+                            static_cast<std::uint32_t>(candidates.size());
+                        candidates.push_back(canon[li]);
+                    } else {
+                        remap[li] = npos32;
+                    }
+                }
+                auto& finish_compact = sc.finish_compact;
+                finish_compact.clear();
+                for (const std::uint32_t li : finish) {
+                    if (remap[li] != npos32) {
+                        finish_compact.push_back(remap[li]);
+                    }
+                }
+                canon.swap(candidates);
+                finish.swap(finish_compact);
+            }
+            longest_chain_presorted(canon, finish, sc.chains, chain);
             for (const timed_op& item : chain) {
                 sc.chain_users[item.op.value()].push_back(r);
             }
         } else {
+            for (const op_id o : wcg.ops_for(r)) {
+                if (!covered[o.value()]) {
+                    candidates.push_back(
+                        make_timed(o, start_times, latencies));
+                }
+            }
             chain = longest_chain_dp(candidates);
         }
         sc.entry_valid[r.value()] = 1;
@@ -243,6 +372,19 @@ binding bind_select(const wordlength_compatibility_graph& wcg,
     // admissible and much tighter than |O(r)| under a parallel schedule --
     // and no chain at all is computed for resources that never reach the
     // top.
+    // survivors[r]: number of uncovered operations in O(r) -- an O(1)
+    // upper bound on the chain length, maintained incrementally as
+    // operations are covered. The lazy selection loop tightens stale heap
+    // keys to this bound before paying for a full recompute, so resources
+    // far from the top never walk their candidate rows at all.
+    if (options.cache_chains) {
+        sc.survivors.resize(std::max(sc.survivors.size(), n_res));
+        for (const res_id r : wcg.all_resources()) {
+            sc.survivors[r.value()] =
+                static_cast<std::uint32_t>(wcg.ops_for(r).size());
+        }
+    }
+
     if (options.cache_chains) {
         // stamp[t] == current resource marker <=> start t already seen.
         int horizon = 0;
@@ -285,6 +427,20 @@ binding bind_select(const wordlength_compatibility_graph& wcg,
                 MWL_ASSERT(!heap.empty());
                 const bind_chain_key top = heap_pop();
                 if (!sc.entry_valid[top.r.value()]) {
+                    // Tighten to the survivor bound first: chain length
+                    // can never exceed the number of uncovered candidates,
+                    // and pushing the smaller bound keeps every heap key an
+                    // upper bound, so the argmax argument is untouched.
+                    const std::size_t bound = sc.survivors[top.r.value()];
+                    if (bound < top.length) {
+                        if (bound > 0) {
+                            heap_push(bind_chain_key{
+                                static_cast<double>(bound) /
+                                    wcg.area(top.r),
+                                bound, top.r});
+                        }
+                        continue;
+                    }
                     const std::vector<timed_op>& fresh = recompute(top.r);
                     if (!fresh.empty()) {
                         heap_push(key_of(top.r, fresh));
@@ -344,6 +500,9 @@ binding bind_select(const wordlength_compatibility_graph& wcg,
                     sc.entry_valid[r.value()] = 0;
                 }
                 sc.chain_users[item.op.value()].clear();
+                for (const res_id r : wcg.resources_for(item.op)) {
+                    --sc.survivors[r.value()];
+                }
             }
         }
 

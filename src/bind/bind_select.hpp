@@ -73,6 +73,19 @@ struct bind_scratch {
     std::vector<std::uint32_t> stamp;            ///< distinct-start seeding
     std::vector<bind_chain_key> heap;            ///< lazy selection heap
     chain_scratch chains;
+    // Per-schedule presorted candidate orders (see bind_select.cpp): for
+    // each resource, O(r) in canonical chain order and the matching
+    // by-finish index order, built once per call so chain recomputes are
+    // sort-free.
+    std::vector<std::vector<timed_op>> res_canon;
+    std::vector<std::vector<std::uint32_t>> res_finish;
+    std::vector<std::uint32_t> order;            ///< shared op-order buffer
+    std::vector<std::uint32_t> order2;           ///< counting-sort partner
+    std::vector<std::uint32_t> count;            ///< counting-sort histogram
+    std::vector<std::uint32_t> canon_rank;
+    std::vector<std::uint32_t> remap;
+    std::vector<std::uint32_t> finish_compact;
+    std::vector<std::uint32_t> survivors;        ///< uncovered ops per O(r)
 };
 
 /// Bind every operation of `wcg.graph()`.

@@ -21,8 +21,10 @@
 
 #include "sched/event_engine.hpp"
 #include "sched/scheduling_set.hpp"
+#include "support/arena.hpp"
 #include "wcg/wcg.hpp"
 
+#include <utility>
 #include <vector>
 
 namespace mwl {
@@ -41,7 +43,28 @@ struct incomplete_schedule_result {
 struct incomplete_sched_scratch {
     event_schedule_workspace ws;
     scheduling_set_cache cover_cache;
-    std::vector<std::vector<std::size_t>> members_of_op;
+    /// S(o) as a flat CSR table: offsets here, row storage handed out by
+    /// `arena` (rewound wholesale each call -- no per-op vectors).
+    std::vector<std::uint32_t> members_off;
+    std::vector<std::uint32_t> members_cursor;
+    bump_arena arena;
+    /// Signature-tournament fast path (see incomplete_scheduler.cpp):
+    /// per-signature ready heaps of packed (priority, id) keys plus the
+    /// signature table itself.
+    std::vector<std::vector<std::uint64_t>> sig_heap;
+    std::vector<std::uint64_t> sig_mask;
+    std::vector<std::int64_t> sig_share;
+    std::vector<std::uint32_t> sig_of_op;
+    std::vector<int> sig_stuck;
+    /// Lazy global min-heap over signature fronts: (front key, signature)
+    /// entries, stale ones discarded on pop. Selection is O(log) per
+    /// attempt instead of a scan over every signature.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> front_heap;
+    std::vector<std::uint32_t> stuck_list; ///< signatures stuck at step t
+    /// True iff ws.usage is known to be all zeros (the fast path restores
+    /// exactly its committed windows before returning, so a looping caller
+    /// never pays a full-arena clear).
+    bool usage_zeroed = false;
 };
 
 /// Schedule all operations of `wcg.graph()` using the latency upper bounds

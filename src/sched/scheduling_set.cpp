@@ -269,24 +269,40 @@ min_scheduling_set_impl(const wordlength_compatibility_graph& wcg,
         cands.push_back(candidate{r, wcg.area(r), ops.size(), row});
     }
 
+    // A candidate is dominated iff some live (non-dominated) candidate
+    // contains its coverage -- strictly, or equally with a better
+    // (area, id) tie-break. Any dominator has >= count, and an equal-count
+    // dominator has equal coverage and a better tie-break, so processing
+    // candidates in (count desc, area asc, id asc) order makes every
+    // potential dominator precede its victims and makes liveness
+    // prefix-stable: each candidate needs testing against the live list
+    // only, not all pairs.
     std::vector<bool> dominated(cands.size(), false);
+    std::vector<std::size_t> by_count(cands.size());
     for (std::size_t i = 0; i < cands.size(); ++i) {
-        for (std::size_t j = 0; j < cands.size(); ++j) {
-            if (i == j || dominated[i] || dominated[j]) {
-                continue;
-            }
-            if (cands[i].count > cands[j].count ||
-                !words_subset(cands[i].cov, cands[j].cov, w)) {
-                continue;
-            }
-            const bool equal = cands[i].count == cands[j].count;
-            if (!equal) {
+        by_count[i] = i;
+    }
+    std::sort(by_count.begin(), by_count.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (cands[a].count != cands[b].count) {
+                      return cands[a].count > cands[b].count;
+                  }
+                  if (cands[a].area != cands[b].area) {
+                      return cands[a].area < cands[b].area;
+                  }
+                  return cands[a].id < cands[b].id;
+              });
+    std::vector<std::size_t> live;
+    live.reserve(cands.size());
+    for (const std::size_t i : by_count) {
+        for (const std::size_t j : live) {
+            if (words_subset(cands[i].cov, cands[j].cov, w)) {
                 dominated[i] = true;
-            } else if (cands[i].area > cands[j].area ||
-                       (cands[i].area == cands[j].area &&
-                        cands[i].id > cands[j].id)) {
-                dominated[i] = true;
+                break;
             }
+        }
+        if (!dominated[i]) {
+            live.push_back(i);
         }
     }
     std::vector<candidate> kept;

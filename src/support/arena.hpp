@@ -1,0 +1,103 @@
+// Bump arena for per-iteration scratch rows.
+//
+// The refinement loop re-derives the same families of short-lived arrays
+// every iteration (candidate chains, coverage rows, CSR scratch). A bump
+// arena turns each family into one pointer increment: blocks are grabbed
+// from the heap once, reset() rewinds to empty without freeing, and rows
+// handed out stay valid until the next reset. Only trivially destructible
+// element types are allowed -- nothing is ever destroyed, only rewound.
+
+#ifndef MWL_SUPPORT_ARENA_HPP
+#define MWL_SUPPORT_ARENA_HPP
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace mwl {
+
+class bump_arena {
+public:
+    explicit bump_arena(std::size_t first_block_bytes = 1 << 14)
+        : first_block_bytes_(first_block_bytes)
+    {
+    }
+
+    /// Hand out `count` default-initialised elements. The row stays valid
+    /// until reset(); no per-row free exists.
+    template <typename T>
+    [[nodiscard]] std::span<T> alloc(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena rows are rewound, never destroyed");
+        if (count == 0) {
+            return {};
+        }
+        const std::size_t bytes = count * sizeof(T);
+        void* p = grab(bytes, alignof(T));
+        return {new (p) T[count], count};
+    }
+
+    /// Rewind to empty, keeping every block for reuse.
+    void reset()
+    {
+        for (block& b : blocks_) {
+            b.used = 0;
+        }
+        active_ = 0;
+    }
+
+    /// Total bytes currently reserved across blocks (for stats/tests).
+    [[nodiscard]] std::size_t capacity_bytes() const
+    {
+        std::size_t total = 0;
+        for (const block& b : blocks_) {
+            total += b.size;
+        }
+        return total;
+    }
+
+private:
+    struct block {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    void* grab(std::size_t bytes, std::size_t align)
+    {
+        while (active_ < blocks_.size()) {
+            block& b = blocks_[active_];
+            const std::size_t at = (b.used + align - 1) & ~(align - 1);
+            if (at + bytes <= b.size) {
+                b.used = at + bytes;
+                return b.data.get() + at;
+            }
+            ++active_;
+        }
+        std::size_t size = blocks_.empty() ? first_block_bytes_
+                                           : blocks_.back().size * 2;
+        if (size < bytes + align) {
+            size = bytes + align;
+        }
+        blocks_.push_back(
+            block{std::make_unique<std::byte[]>(size), size, 0});
+        block& b = blocks_.back();
+        const std::size_t at =
+            (reinterpret_cast<std::uintptr_t>(b.data.get()) % align == 0)
+                ? 0
+                : align; // operator new aligns to max_align_t; cheap guard
+        b.used = at + bytes;
+        return b.data.get() + at;
+    }
+
+    std::size_t first_block_bytes_;
+    std::vector<block> blocks_;
+    std::size_t active_ = 0;
+};
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_ARENA_HPP

@@ -40,14 +40,33 @@ sequencing_graph generate_tgff(const tgff_options& options, rng& random)
             continue; // independent root, a new TGFF chain
         }
         // Attach to up to max_fan_in distinct earlier operations. Sampling
-        // earlier ids only keeps the graph acyclic by construction.
+        // earlier ids only keeps the graph acyclic by construction. With a
+        // locality window the candidates are the most recent operations,
+        // which keeps depth growing with n_ops (see generator.hpp).
+        const std::size_t lo =
+            options.locality_window != 0 &&
+                    id.value() > options.locality_window
+                ? id.value() - options.locality_window
+                : 0;
         const int fan_in = random.uniform_int(1, options.max_fan_in);
         for (int k = 0; k < fan_in; ++k) {
-            const op_id pred(random.uniform(0, id.value() - 1));
+            const op_id pred(random.uniform(lo, id.value() - 1));
             graph.add_dependency(pred, id); // duplicates are idempotent
         }
     }
     return graph;
+}
+
+tgff_options large_graph_preset(std::size_t n_ops)
+{
+    require(n_ops >= 1, "graph must have at least one operation");
+    tgff_options options;
+    options.n_ops = n_ops;
+    options.attach_probability = 0.95;
+    options.max_fan_in = 3;
+    options.locality_window = 64;
+    options.max_width = 32;
+    return options;
 }
 
 } // namespace mwl

@@ -31,7 +31,27 @@ struct tgff_options {
     /// Probability that a new operation attaches to existing operations at
     /// all (otherwise it starts a new independent chain, TGFF-style).
     double attach_probability = 0.85;
+    /// When > 0, dependencies are sampled from the most recent
+    /// `locality_window` operations only, instead of the whole prefix.
+    /// Whole-prefix sampling (the legacy 0 default, kept bit-identical)
+    /// degenerates once n_ops reaches ~1000: depth plateaus around 20 no
+    /// matter how large the graph gets, the root count grows linearly
+    /// (~15% of ops), and early operations become unbounded fan-out hubs
+    /// -- none of which resembles a deep DSP datapath. A window keeps
+    /// depth proportional to n_ops and bounds expected fan-out.
+    std::size_t locality_window = 0;
 };
+
+/// Deterministic preset for the large-graph scaling tier (|O| ~ 500-2000):
+/// windowed attachment and a higher attach probability so depth scales
+/// with n_ops instead of plateauing, plus a slightly wider wordlength
+/// range so the resource universe keeps growing past |O| ~ 1000. The
+/// (preset, seed) pair pins the graph bit-for-bit; bench/tests derive
+/// seeds as large_graph_seed_base + n_ops.
+[[nodiscard]] tgff_options large_graph_preset(std::size_t n_ops);
+
+/// Base seed shared by the large-graph bench tier and its identity tests.
+inline constexpr std::uint64_t large_graph_seed_base = 0x1a46e;
 
 /// Generate one random sequencing graph. Throws `precondition_error` on
 /// nonsensical options (zero sizes, inverted width range, probabilities

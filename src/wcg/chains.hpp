@@ -16,6 +16,7 @@
 
 #include "support/ids.hpp"
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,17 @@ struct chain_scratch {
 /// caller reuses its capacity. This is the zero-allocation form.
 void longest_chain_into(std::span<const timed_op> items,
                         chain_scratch& scratch, std::vector<timed_op>& out);
+
+/// Sort-free form for callers that amortise the ordering work: `sorted`
+/// must already be in canonical order (start asc, finish asc, op id asc)
+/// and `by_finish` must hold the indices of `sorted` ordered by
+/// (finish asc, index asc). Produces exactly the chain longest_chain_into
+/// returns for the same item set in O(k). bind/bind_select.cpp builds both
+/// orders once per schedule and filters them per Chvátal round.
+void longest_chain_presorted(std::span<const timed_op> sorted,
+                             std::span<const std::uint32_t> by_finish,
+                             chain_scratch& scratch,
+                             std::vector<timed_op>& out);
 
 /// True iff every pair of `items` is ordered by `precedes` one way or the
 /// other, i.e. the set is a clique of G'(O, C). O(k log k):

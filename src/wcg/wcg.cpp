@@ -21,19 +21,58 @@ wordlength_compatibility_graph::wordlength_compatibility_graph(
         MWL_ASSERT(res_area_.back() > 0.0);
     }
 
-    h_of_op_.resize(graph.size());
-    h_of_res_.resize(resources_.size());
+    const std::size_t n_ops = graph.size();
+    const std::size_t n_res = resources_.size();
+    op_words_ = bits_words(n_ops);
+    res_words_ = bits_words(n_res);
+    op_bits_.assign(n_res * op_words_, 0);
+    res_bits_.assign(n_ops * res_words_, 0);
+
+    // Two passes: count row sizes, then fill the flat CSR pools. Rows come
+    // out ascending by construction (ops and resources are visited in
+    // ascending id order).
+    op_row_begin_.assign(n_ops, 0);
+    op_row_end_.assign(n_ops, 0);
+    res_row_begin_.assign(n_res, 0);
+    res_row_end_.assign(n_res, 0);
+    std::vector<std::uint32_t> op_deg(n_ops, 0);
+    std::vector<std::uint32_t> res_deg(n_res, 0);
     for (const op_id o : graph.all_ops()) {
-        for (std::size_t ri = 0; ri < resources_.size(); ++ri) {
+        for (std::size_t ri = 0; ri < n_res; ++ri) {
             if (resources_[ri].covers(graph.shape(o))) {
-                h_of_op_[o.value()].emplace_back(ri);
-                h_of_res_[ri].push_back(o);
+                ++op_deg[o.value()];
+                ++res_deg[ri];
                 ++edge_count_;
             }
         }
         // The closure contains every operation's own shape, so H(o) is
         // never empty at construction.
-        MWL_ASSERT(!h_of_op_[o.value()].empty());
+        MWL_ASSERT(op_deg[o.value()] > 0);
+    }
+    std::uint32_t at = 0;
+    for (std::size_t i = 0; i < n_ops; ++i) {
+        op_row_begin_[i] = at;
+        op_row_end_[i] = at;
+        at += op_deg[i];
+    }
+    h_op_data_.resize(edge_count_);
+    at = 0;
+    for (std::size_t ri = 0; ri < n_res; ++ri) {
+        res_row_begin_[ri] = at;
+        res_row_end_[ri] = at;
+        at += res_deg[ri];
+    }
+    h_res_data_.resize(edge_count_);
+    for (const op_id o : graph.all_ops()) {
+        for (std::size_t ri = 0; ri < n_res; ++ri) {
+            if (!resources_[ri].covers(graph.shape(o))) {
+                continue;
+            }
+            h_op_data_[op_row_end_[o.value()]++] = res_id(ri);
+            h_res_data_[res_row_end_[ri]++] = o;
+            bits_set(op_bits_.data() + ri * op_words_, o.value());
+            bits_set(res_bits_.data() + o.value() * res_words_, ri);
+        }
     }
 
     lat_upper_.assign(graph.size(), 0);
@@ -71,43 +110,44 @@ std::vector<res_id> wordlength_compatibility_graph::all_resources() const
     return ids;
 }
 
-bool wordlength_compatibility_graph::compatible(op_id o, res_id r) const
-{
-    check_op(o);
-    check_res(r);
-    const auto& row = h_of_op_[o.value()];
-    return std::binary_search(row.begin(), row.end(), r);
-}
-
 std::span<const res_id>
 wordlength_compatibility_graph::resources_for(op_id o) const
 {
     check_op(o);
-    return h_of_op_[o.value()];
+    return {h_op_data_.data() + op_row_begin_[o.value()],
+            h_op_data_.data() + op_row_end_[o.value()]};
 }
 
 std::span<const op_id>
 wordlength_compatibility_graph::ops_for(res_id r) const
 {
     check_res(r);
-    return h_of_res_[r.value()];
+    return {h_res_data_.data() + res_row_begin_[r.value()],
+            h_res_data_.data() + res_row_end_[r.value()]};
 }
 
 void wordlength_compatibility_graph::delete_edge(op_id o, res_id r)
 {
     check_op(o);
     check_res(r);
-    auto& row = h_of_op_[o.value()];
-    const auto it = std::lower_bound(row.begin(), row.end(), r);
-    require(it != row.end() && *it == r, "H edge not present");
-    require(row.size() > 1,
+    res_id* const row_first = h_op_data_.data() + op_row_begin_[o.value()];
+    res_id* const row_last = h_op_data_.data() + op_row_end_[o.value()];
+    res_id* const it = std::lower_bound(row_first, row_last, r);
+    require(it != row_last && *it == r, "H edge not present");
+    require(row_last - row_first > 1,
             "deleting the last compatible resource of an operation");
-    row.erase(it);
+    std::move(it + 1, row_last, it);
+    --op_row_end_[o.value()];
 
-    auto& col = h_of_res_[r.value()];
-    const auto jt = std::lower_bound(col.begin(), col.end(), o);
-    MWL_ASSERT(jt != col.end() && *jt == o);
-    col.erase(jt);
+    op_id* const col_first = h_res_data_.data() + res_row_begin_[r.value()];
+    op_id* const col_last = h_res_data_.data() + res_row_end_[r.value()];
+    op_id* const jt = std::lower_bound(col_first, col_last, o);
+    MWL_ASSERT(jt != col_last && *jt == o);
+    std::move(jt + 1, col_last, jt);
+    --res_row_end_[r.value()];
+
+    bits_reset(op_bits_.data() + r.value() * op_words_, o.value());
+    bits_reset(res_bits_.data() + o.value() * res_words_, r.value());
     --edge_count_;
     ++version_;
 
@@ -148,7 +188,7 @@ int wordlength_compatibility_graph::refine_op(op_id o)
 
     // Collect first, then delete: delete_edge mutates the row we iterate.
     std::vector<res_id> doomed;
-    for (const res_id r : h_of_op_[o.value()]) {
+    for (const res_id r : resources_for(o)) {
         if (res_latency_[r.value()] == top) {
             doomed.push_back(r);
         }
@@ -164,7 +204,7 @@ void wordlength_compatibility_graph::recompute_bounds(op_id o)
 {
     int upper = 0;
     int lower = 0;
-    for (const res_id r : h_of_op_[o.value()]) {
+    for (const res_id r : resources_for(o)) {
         const int lat = res_latency_[r.value()];
         upper = std::max(upper, lat);
         lower = (lower == 0) ? lat : std::min(lower, lat);

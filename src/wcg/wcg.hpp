@@ -15,6 +15,7 @@
 
 #include "dfg/sequencing_graph.hpp"
 #include "model/hardware_model.hpp"
+#include "support/bitset.hpp"
 #include "support/ids.hpp"
 
 #include <cstdint>
@@ -47,12 +48,43 @@ public:
 
     // -- H edges ---------------------------------------------------------
 
-    [[nodiscard]] bool compatible(op_id o, res_id r) const;
+    /// O(1): one bit probe of the op-major incidence matrix.
+    [[nodiscard]] bool compatible(op_id o, res_id r) const
+    {
+        check_op(o);
+        check_res(r);
+        return bits_test(res_bits_.data() + o.value() * res_words_,
+                         r.value());
+    }
     /// H(o): resource types that may still execute o, ascending res_id.
+    /// A slice of the flat CSR pool; rows only shrink under refinement.
     [[nodiscard]] std::span<const res_id> resources_for(op_id o) const;
     /// O(r): operations that resource type r may still execute.
     [[nodiscard]] std::span<const op_id> ops_for(res_id r) const;
     [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+    // -- word-parallel views of H ----------------------------------------
+    //
+    // Rows of the two incidence bit matrices, maintained in lockstep with
+    // the CSR adjacency. Set-cover coverage rows, clique compatibility
+    // probes, and common-resource intersections consume these directly.
+
+    /// Words per ops_row (== bits_words(graph().size())).
+    [[nodiscard]] std::size_t op_words() const { return op_words_; }
+    /// Words per resources_row (== bits_words(resource_count())).
+    [[nodiscard]] std::size_t res_words() const { return res_words_; }
+    /// Bit o set iff {o, r} is in H.
+    [[nodiscard]] std::span<const std::uint64_t> ops_row(res_id r) const
+    {
+        check_res(r);
+        return {op_bits_.data() + r.value() * op_words_, op_words_};
+    }
+    /// Bit r set iff {o, r} is in H.
+    [[nodiscard]] std::span<const std::uint64_t> resources_row(op_id o) const
+    {
+        check_op(o);
+        return {res_bits_.data() + o.value() * res_words_, res_words_};
+    }
 
     /// Monotone counter bumped by every successful `delete_edge` (and hence
     /// by `refine_op`). Downstream caches key on it to detect staleness:
@@ -95,8 +127,25 @@ private:
     std::vector<op_shape> resources_;
     std::vector<int> res_latency_;
     std::vector<double> res_area_;
-    std::vector<std::vector<res_id>> h_of_op_;  // H(o), sorted
-    std::vector<std::vector<op_id>> h_of_res_;  // O(r), sorted
+
+    // H adjacency as CSR: row i of h_op_data_ spans
+    // [op_row_begin_[i], op_row_end_[i]), ascending res_id; likewise
+    // h_res_data_ for O(r) rows, ascending op_id. Rows never grow after
+    // construction, so deletion shifts within the row slice and begin
+    // offsets stay fixed -- one contiguous pool, no per-row heap rows.
+    std::vector<res_id> h_op_data_;
+    std::vector<std::uint32_t> op_row_begin_;
+    std::vector<std::uint32_t> op_row_end_;
+    std::vector<op_id> h_res_data_;
+    std::vector<std::uint32_t> res_row_begin_;
+    std::vector<std::uint32_t> res_row_end_;
+
+    // Incidence bit matrices mirroring the CSR rows (see ops_row).
+    std::size_t op_words_ = 0;
+    std::size_t res_words_ = 0;
+    std::vector<std::uint64_t> op_bits_;
+    std::vector<std::uint64_t> res_bits_;
+
     std::vector<int> lat_upper_;                // cached max latency of H(o)
     std::vector<int> lat_lower_;                // cached min latency of H(o)
     std::size_t edge_count_ = 0;

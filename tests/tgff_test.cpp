@@ -144,6 +144,133 @@ TEST(Tgff, InvalidOptionsThrow)
                  precondition_error);
 }
 
+// ------------------------------------------------- large-graph presets --
+
+struct graph_shape {
+    std::size_t roots = 0;
+    std::size_t max_out = 0;
+    std::size_t edges = 0;
+    int depth = 0; ///< operations on the longest dependency chain
+};
+
+graph_shape shape_of(const sequencing_graph& g)
+{
+    graph_shape s;
+    std::vector<int> depth(g.size(), 1);
+    for (const op_id o : g.all_ops()) {
+        s.roots += g.predecessors(o).empty() ? 1u : 0u;
+        s.max_out = std::max(s.max_out, g.successors(o).size());
+        s.edges += g.successors(o).size();
+        for (const op_id p : g.predecessors(o)) {
+            depth[o.value()] = std::max(depth[o.value()], depth[p.value()] + 1);
+        }
+        s.depth = std::max(s.depth, depth[o.value()]);
+    }
+    return s;
+}
+
+TEST(Tgff, LegacyStreamUnchanged)
+{
+    // The locality_window option must not perturb the legacy (window = 0)
+    // random stream: this pins one whole default-options graph by shape.
+    // Any drift here silently invalidates every seeded corpus in the repo.
+    rng random(12345 + 150);
+    tgff_options opts;
+    opts.n_ops = 150;
+    const graph_shape s = shape_of(generate_tgff(opts, random));
+    EXPECT_EQ(s.edges, 175u);
+    EXPECT_EQ(s.roots, 26u);
+    EXPECT_EQ(s.depth, 8);
+    EXPECT_EQ(s.max_out, 8u);
+}
+
+TEST(Tgff, WholePrefixSamplingDegeneratesAtScale)
+{
+    // Documents why large_graph_preset exists: with whole-prefix
+    // attachment at n = 1000 the depth plateaus around 20, ~15% of all
+    // operations are roots, and early operations turn into fan-out hubs.
+    // Exact pins (deterministic stream) so the numbers cannot rot.
+    rng random(12345 + 1000);
+    tgff_options opts;
+    opts.n_ops = 1000;
+    const graph_shape s = shape_of(generate_tgff(opts, random));
+    EXPECT_EQ(s.roots, 158u);   // ~16% of ops start new chains
+    EXPECT_EQ(s.depth, 20);     // plateau: no deeper than tiny graphs
+    EXPECT_EQ(s.max_out, 14u);  // unbounded hubs form on early ops
+    EXPECT_EQ(s.edges, 1266u);
+}
+
+TEST(Tgff, PresetDepthScalesWithSize)
+{
+    // The windowed preset keeps depth growing with n_ops and bounds the
+    // root fraction and fan-out -- the properties the degenerate legacy
+    // shape loses (WholePrefixSamplingDegeneratesAtScale above).
+    int last_depth = 0;
+    for (const std::size_t n : {500u, 1000u, 2000u}) {
+        rng random(large_graph_seed_base + n);
+        const sequencing_graph g =
+            generate_tgff(large_graph_preset(n), random);
+        const graph_shape s = shape_of(g);
+        EXPECT_GT(s.depth, last_depth) << "n=" << n;
+        EXPECT_GE(s.depth, static_cast<int>(n / 16)) << "n=" << n;
+        EXPECT_LE(s.roots, n / 8) << "n=" << n;
+        EXPECT_LE(s.max_out, 16u) << "n=" << n;
+        last_depth = s.depth;
+    }
+}
+
+TEST(Tgff, PresetShapePinned)
+{
+    // Bit-level pins for the bench-tier graphs (seed base + n). The
+    // large-graph bench and identity tests assume exactly these graphs.
+    const struct {
+        std::size_t n;
+        std::size_t roots, max_out, edges;
+        int depth;
+    } expected[] = {
+        {500, 24, 9, 930, 37},
+        {1000, 63, 11, 1839, 65},
+        {2000, 100, 9, 3751, 136},
+    };
+    for (const auto& e : expected) {
+        rng random(large_graph_seed_base + e.n);
+        const graph_shape s =
+            shape_of(generate_tgff(large_graph_preset(e.n), random));
+        EXPECT_EQ(s.roots, e.roots) << "n=" << e.n;
+        EXPECT_EQ(s.depth, e.depth) << "n=" << e.n;
+        EXPECT_EQ(s.max_out, e.max_out) << "n=" << e.n;
+        EXPECT_EQ(s.edges, e.edges) << "n=" << e.n;
+    }
+}
+
+TEST(Tgff, LocalityWindowBoundsPredecessorDistance)
+{
+    tgff_options opts;
+    opts.n_ops = 300;
+    opts.locality_window = 16;
+    opts.attach_probability = 1.0;
+    rng random(9);
+    const sequencing_graph g = generate_tgff(opts, random);
+    for (const op_id o : g.all_ops()) {
+        for (const op_id p : g.predecessors(o)) {
+            EXPECT_LE(o.value() - p.value(), 16u);
+        }
+    }
+}
+
+TEST(Tgff, PresetDeterministicForSeed)
+{
+    rng r1(large_graph_seed_base + 500);
+    rng r2(large_graph_seed_base + 500);
+    const sequencing_graph a = generate_tgff(large_graph_preset(500), r1);
+    const sequencing_graph b = generate_tgff(large_graph_preset(500), r2);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.edge_count(), b.edge_count());
+    for (const op_id o : a.all_ops()) {
+        EXPECT_EQ(a.shape(o), b.shape(o));
+    }
+}
+
 // -------------------------------------------------------------- corpus --
 
 TEST(Corpus, SizesAndLambdaMin)
