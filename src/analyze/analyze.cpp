@@ -1,0 +1,658 @@
+#include "analyze/analyze.hpp"
+
+#include "analyze/value_range.hpp"
+#include "rtl/lifetimes.hpp"
+#include "rtl/netlist.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+namespace mwl {
+
+void analysis_report::merge(analysis_report other)
+{
+    findings.insert(findings.end(),
+                    std::make_move_iterator(other.findings.begin()),
+                    std::make_move_iterator(other.findings.end()));
+    checks += other.checks;
+    truncated = truncated || other.truncated;
+}
+
+namespace {
+
+template <typename... Parts>
+std::string cat(const Parts&... parts)
+{
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+}
+
+/// Bounded finding sink: collection stops (and the report is marked
+/// truncated) once max_findings is reached, so a pathological design
+/// cannot blow up the report.
+class sink {
+public:
+    sink(analysis_report& report, std::size_t cap)
+        : report_(report), cap_(cap)
+    {
+    }
+
+    template <typename... Parts>
+    void add(const char* rule, finding_severity severity,
+             std::string location, int bit_lo, int bit_hi,
+             const Parts&... parts)
+    {
+        if (report_.findings.size() >= cap_) {
+            report_.truncated = true;
+            return;
+        }
+        report_.findings.push_back(make_finding(rule, severity,
+                                                std::move(location),
+                                                cat(parts...), bit_lo,
+                                                bit_hi));
+    }
+
+    void push(finding f)
+    {
+        if (report_.findings.size() >= cap_) {
+            report_.truncated = true;
+            return;
+        }
+        report_.findings.push_back(std::move(f));
+    }
+
+    /// One fact verified (flagged or not) -- the throughput denominator.
+    void checked() { ++report_.checks; }
+
+private:
+    analysis_report& report_;
+    std::size_t cap_;
+};
+
+constexpr finding_severity err = finding_severity::error;
+constexpr finding_severity warn = finding_severity::warning;
+
+// --------------------------------------------------------------------------
+// Structural lints: dead / unreachable IR nodes and write-write races,
+// derived from reachability over the design alone.
+
+void structural_lints(const rtl_design& design, sink& out)
+{
+    std::vector<char> reg_read(design.register_width.size(), 0);
+    std::vector<char> reg_written(design.register_width.size(), 0);
+    std::vector<char> input_read(design.inputs.size(), 0);
+    std::vector<char> fu_captured(design.fus.size(), 0);
+    std::vector<std::size_t> captured(design.n_ops, 0);
+
+    for (const rtl_fu& fu : design.fus) {
+        for (const auto& selects : fu.select) {
+            for (const rtl_operand_select& sel : selects) {
+                if (sel.source.from == rtl_source::kind::reg) {
+                    if (sel.source.index < reg_read.size()) {
+                        reg_read[sel.source.index] = 1;
+                    }
+                } else if (sel.source.index < input_read.size()) {
+                    input_read[sel.source.index] = 1;
+                }
+            }
+        }
+    }
+    for (const rtl_capture& cap : design.captures) {
+        if (cap.reg < reg_written.size()) {
+            reg_written[cap.reg] = 1;
+        }
+        if (cap.fu < fu_captured.size()) {
+            fu_captured[cap.fu] = 1;
+        }
+        if (cap.op.is_valid() && cap.op.value() < captured.size()) {
+            ++captured[cap.op.value()];
+        }
+    }
+    for (const rtl_output& o : design.outputs) {
+        if (o.reg < reg_read.size()) {
+            reg_read[o.reg] = 1;
+        }
+    }
+
+    for (std::size_t r = 0; r < design.register_width.size(); ++r) {
+        out.checked();
+        if (!reg_read[r] && !reg_written[r]) {
+            out.add("lint.dead-register", warn, cat("r", r), -1, -1,
+                    "register is never read or written");
+        } else if (!reg_read[r]) {
+            out.add("lint.register-never-read", warn, cat("r", r), -1, -1,
+                    "register is written but never read");
+        } else if (!reg_written[r]) {
+            out.add("lint.register-never-written", err, cat("r", r), -1, -1,
+                    "register is read but never written (holds reset "
+                    "garbage)");
+        }
+    }
+    for (std::size_t f = 0; f < design.fus.size(); ++f) {
+        out.checked();
+        if (!fu_captured[f]) {
+            out.add("lint.dead-fu", warn, cat("fu", f), -1, -1,
+                    "functional unit's result is never captured");
+        }
+    }
+    for (std::size_t i = 0; i < design.inputs.size(); ++i) {
+        out.checked();
+        if (!input_read[i]) {
+            out.add("lint.unused-input", warn, design.inputs[i].name, -1,
+                    -1, "primary input is never selected by any operand "
+                        "mux");
+        }
+    }
+    for (std::size_t o = 0; o < design.n_ops; ++o) {
+        out.checked();
+        if (captured[o] == 0) {
+            out.add("lint.uncaptured-op", err, cat("op ", o), -1, -1,
+                    "operation's result is never captured");
+        } else if (captured[o] > 1) {
+            out.add("lint.multi-capture", err, cat("op ", o), -1, -1,
+                    "operation captured ", captured[o],
+                    " times (expected exactly 1)");
+        }
+    }
+
+    // Same-edge write-write race, independent of the captures' sort
+    // invariant (sort a copy; validate_design checks the invariant).
+    std::vector<std::pair<int, std::size_t>> writes;
+    writes.reserve(design.captures.size());
+    for (const rtl_capture& cap : design.captures) {
+        writes.emplace_back(cap.cycle, cap.reg);
+    }
+    std::sort(writes.begin(), writes.end());
+    for (std::size_t i = 0; i + 1 < writes.size(); ++i) {
+        out.checked();
+        if (writes[i] == writes[i + 1]) {
+            out.add("lint.write-write", err, cat("r", writes[i].second), -1,
+                    -1, "register written twice in cycle ",
+                    writes[i].first);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Value-range walk.
+//
+// Replays the interpreter's evaluation order symbolically: captures in
+// (cycle, register) order, reads against the pre-edge register state,
+// same-edge writes committed together. Per register the state is *which
+// operation's exact arithmetic value it holds and at what effective wrap
+// width* -- `value(op, e)` asserts the register's signed content equals
+// wrap_e(math(op)), where math(op) is the unbounded reference result whose
+// interval analyze_ranges() bounds. On a correct elaboration every read
+// and capture is width-exact, so no interval is ever consulted; intervals
+// only decide whether a *mismatched* adaptation still provably preserves
+// the value.
+
+struct reg_state {
+    enum class kind {
+        empty,   ///< never written
+        value,   ///< holds wrap_{eff_width}(math(op))
+        corrupt, ///< derived from `op` but already flagged as wrong
+    };
+    kind tag = kind::empty;
+    op_id op;
+    int eff_width = 0;
+};
+
+class range_walk {
+public:
+    range_walk(const sequencing_graph& graph, const rtl_design& design,
+               sink& out)
+        : graph_(graph), design_(design), out_(out),
+          ranges_(analyze_ranges(graph)),
+          state_(design.register_width.size())
+    {
+    }
+
+    void run()
+    {
+        for (std::size_t c = 0; c < design_.captures.size();) {
+            const int cycle = design_.captures[c].cycle;
+            // Pre-edge reads for every capture on this edge, then one
+            // nonblocking commit (the interpreter's semantics).
+            std::vector<std::pair<std::size_t, reg_state>> staged;
+            for (; c < design_.captures.size() &&
+                   design_.captures[c].cycle == cycle;
+                 ++c) {
+                process_capture(design_.captures[c], staged);
+            }
+            for (auto& [reg, st] : staged) {
+                state_[reg] = st;
+            }
+        }
+        check_outputs();
+    }
+
+private:
+    /// The select entry driving `port` of `fu` in `cycle` (the mux case
+    /// active when the unit's result is latched), or nullptr when the mux
+    /// falls through to its default 0.
+    const rtl_operand_select* active_select(const rtl_fu& fu, int port,
+                                            int cycle) const
+    {
+        for (const rtl_operand_select& sel :
+             fu.select[static_cast<std::size_t>(port)]) {
+            if (sel.first_cycle <= cycle && cycle <= sel.last_cycle) {
+                return &sel;
+            }
+        }
+        return nullptr;
+    }
+
+    /// Check one operand read; returns false when the value reaching the
+    /// port provably-or-possibly differs from the reference operand.
+    bool check_read(const rtl_capture& cap, int port, const op_shape& shape)
+    {
+        const op_id o = cap.op;
+        const rtl_fu& fu = design_.fus[cap.fu];
+        const auto preds = graph_.predecessors(o);
+        const int wo = operand_width(shape, port);
+        const std::string where = cat("fu", cap.fu,
+                                      port == 0 ? "_a" : "_b", " (op ", o,
+                                      ")");
+        out_.checked();
+
+        const rtl_operand_select* sel = active_select(fu, port, cap.cycle);
+        if (sel == nullptr) {
+            out_.add("range.missing-select", err, where, -1, -1,
+                     "no operand selected in cycle ", cap.cycle,
+                     " -- the mux default 0 feeds the port");
+            return false;
+        }
+        const bool internal = static_cast<std::size_t>(port) < preds.size();
+
+        if (!internal) {
+            // Reference semantics: a fresh external value wrapped at the
+            // operation's native operand width. The raw external value is
+            // unbounded, so no interval can excuse a width mismatch.
+            if (sel->source.from != rtl_source::kind::input ||
+                sel->source.index >= design_.inputs.size()) {
+                out_.add("range.stale-operand", err, where, -1, -1,
+                         "expected a primary input, port reads a register");
+                return false;
+            }
+            const rtl_input& in = design_.inputs[sel->source.index];
+            if (in.op != o || in.port != port) {
+                out_.add("range.stale-operand", err, where, -1, -1,
+                         "port is fed from unrelated primary input ",
+                         in.name);
+                return false;
+            }
+            if (in.width < wo) {
+                out_.add("range.input-narrow", err, in.name, in.width,
+                         wo - 1, "input port is ", in.width,
+                         " bits, the operation consumes ", wo);
+                return false;
+            }
+            const int e = std::min(sel->adapt.slice_width, in.width);
+            bool ok = true;
+            if (sel->adapt.out_width > sel->adapt.slice_width &&
+                !sel->adapt.sign_extend) {
+                // The sliced external value spans the full e-bit range, so
+                // a widening zero-extension always corrupts negatives.
+                out_.add("range.operand-zero-extend", err, where,
+                         sel->adapt.slice_width, sel->adapt.out_width - 1,
+                         "negative external operand zero-extended into the "
+                         "port");
+                ok = false;
+            }
+            if (e < wo) {
+                out_.add("range.operand-trunc", err, where, e, wo - 1,
+                         "external operand sliced at ", e,
+                         " bits, native width is ", wo);
+                ok = false;
+            } else if (e > wo) {
+                out_.add("range.operand-unwrapped", err, where, wo, e - 1,
+                         "external operand not wrapped at the native ", wo,
+                         "-bit width (reads ", e, " bits)");
+                ok = false;
+            }
+            return ok;
+        }
+
+        // Internal operand: the port must see the predecessor's result.
+        const op_id pred = preds[static_cast<std::size_t>(port)];
+        if (sel->source.from != rtl_source::kind::reg) {
+            out_.add("range.stale-operand", err, where, -1, -1,
+                     "expected the value of op ", pred,
+                     ", port reads a primary input");
+            return false;
+        }
+        if (sel->source.index >= state_.size()) {
+            out_.add("lint.bad-index", err, where, -1, -1,
+                     "select references unknown register ",
+                     sel->source.index);
+            return false;
+        }
+        const reg_state& st = state_[sel->source.index];
+        if (st.tag == reg_state::kind::empty) {
+            out_.add("range.uninitialized-read", err, where, -1, -1,
+                     "reads r", sel->source.index,
+                     " before any value is captured into it");
+            return false;
+        }
+        if (st.op != pred) {
+            out_.add("range.stale-operand", err, where, -1, -1, "r",
+                     sel->source.index, " holds the value of op ", st.op,
+                     " in cycle ", cap.cycle, ", expected op ", pred);
+            return false;
+        }
+        if (st.tag == reg_state::kind::corrupt) {
+            // Right producer, already-flagged wrong value: the root cause
+            // carries the finding; do not cascade.
+            return false;
+        }
+
+        // The register holds wrap_{st.eff_width}(math(pred)); the read
+        // slices at the adapt width, so the port sees an e-bit wrap. The
+        // reference feeds an m-bit wrap (operand width capped by the
+        // producer's native result width). Width-equal reads are exact;
+        // mismatched reads are fine only when the producer's math interval
+        // provably fits the smaller width (then neither wrap changes it).
+        const value_interval& math = ranges_.math[pred.value()];
+        const int e = std::min(sel->adapt.slice_width, st.eff_width);
+        const int m = std::min(wo, result_width(graph_.shape(pred)));
+        bool ok = true;
+        if (sel->adapt.out_width > sel->adapt.slice_width &&
+            !sel->adapt.sign_extend &&
+            wrap_interval(math, e).contains_negative()) {
+            out_.add("range.operand-zero-extend", err, where,
+                     sel->adapt.slice_width, sel->adapt.out_width - 1,
+                     "possibly-negative value of op ", pred,
+                     " zero-extended into the port");
+            ok = false;
+        }
+        if (e != m && !fits_width(math, std::min(e, m))) {
+            if (e < m) {
+                out_.add("range.operand-trunc", err, where, e, m - 1,
+                         "operand of op ", o, " sliced at ", e,
+                         " bits, value of op ", pred, " needs ", m);
+            } else {
+                out_.add("range.operand-unwrapped", err, where, m, e - 1,
+                         "operand not wrapped at the native ", m,
+                         "-bit width (reads ", e, " bits of op ", pred,
+                         ")");
+            }
+            ok = false;
+        }
+        return ok;
+    }
+
+    void process_capture(const rtl_capture& cap,
+                         std::vector<std::pair<std::size_t, reg_state>>& staged)
+    {
+        out_.checked();
+        if (cap.fu >= design_.fus.size() ||
+            cap.reg >= design_.register_width.size() ||
+            !cap.op.is_valid() || cap.op.value() >= graph_.size()) {
+            out_.add("lint.bad-index", err, cat("capture@", cap.cycle), -1,
+                     -1, "capture references an out-of-range fu, register "
+                         "or op");
+            return;
+        }
+        const op_id o = cap.op;
+        const op_shape& shape = graph_.shape(o);
+        const rtl_fu& fu = design_.fus[cap.fu];
+
+        bool clean = check_read(cap, 0, shape);
+        clean = check_read(cap, 1, shape) && clean;
+
+        out_.checked();
+        if (fu.kind == op_kind::mul && !fu.signed_arith) {
+            // An unsigned `*` multiplies the raw operand bit patterns; the
+            // product's upper bits differ from the signed product whenever
+            // an operand can be negative (pattern = value + 2^width).
+            const auto& in = ranges_.operand[o.value()];
+            if (in[0].contains_negative() || in[1].contains_negative()) {
+                out_.add("range.unsigned-mul", err, cat("fu", cap.fu),
+                         std::min(fu.width_a, fu.width_b), fu.width_y - 1,
+                         "unsigned multiplier body: signed operands of op ",
+                         o, " multiply incorrectly in the upper bits");
+                clean = false;
+            }
+        }
+
+        // Capture adaptation: the unit's result is an exact wy-bit wrap of
+        // math(o); the capture slice re-wraps at e_cap. Downstream reads
+        // re-wrap again, so storing *more* bits than the native result
+        // width is harmless by itself -- what corrupts is a zero-extended
+        // possibly-negative slice, or a slice below what a reader needs
+        // (checked here against the native width, and again per-read).
+        out_.checked();
+        const int rw = result_width(shape);
+        const int e_cap = std::min(cap.adapt.slice_width, fu.width_y);
+        const value_interval& math = ranges_.math[o.value()];
+        const std::string where = cat("r", cap.reg, " (op ", o, " @cycle ",
+                                      cap.cycle, ")");
+        if (cap.adapt.out_width > cap.adapt.slice_width &&
+            !cap.adapt.sign_extend &&
+            wrap_interval(math, e_cap).contains_negative()) {
+            out_.add("range.capture-zero-extend", err, where,
+                     cap.adapt.slice_width, cap.adapt.out_width - 1,
+                     "possibly-negative result of op ", o,
+                     " zero-extended into the shared register -- stale "
+                     "zero upper bits on readback");
+            clean = false;
+        }
+        if (e_cap < rw && !fits_width(math, e_cap)) {
+            out_.add("range.capture-trunc", err, where, e_cap, rw - 1,
+                     "result of op ", o, " captured at ", e_cap,
+                     " bits, native result width is ", rw);
+            clean = false;
+        }
+
+        reg_state next;
+        next.tag = clean ? reg_state::kind::value : reg_state::kind::corrupt;
+        next.op = o;
+        next.eff_width = e_cap;
+        staged.emplace_back(cap.reg, next);
+    }
+
+    void check_outputs()
+    {
+        for (const rtl_output& o : design_.outputs) {
+            out_.checked();
+            if (o.reg >= state_.size() || !o.op.is_valid() ||
+                o.op.value() >= graph_.size()) {
+                out_.add("lint.bad-index", err, o.name, -1, -1,
+                         "output references an out-of-range register or "
+                         "op");
+                continue;
+            }
+            const reg_state& st = state_[o.reg];
+            if (st.tag == reg_state::kind::empty) {
+                out_.add("range.uninitialized-read", err, o.name, -1, -1,
+                         "output reads r", o.reg,
+                         ", which is never written");
+                continue;
+            }
+            if (st.op != o.op) {
+                out_.add("range.output-clobbered", err, o.name, -1, -1,
+                         "r", o.reg, " was recycled: it holds the value "
+                                     "of op ",
+                         st.op, " past the final cycle, the output "
+                                "expects op ",
+                         o.op);
+                continue;
+            }
+            if (st.tag == reg_state::kind::corrupt) {
+                continue; // root cause already flagged at the capture
+            }
+            const int rw = result_width(graph_.shape(o.op));
+            const value_interval& math = ranges_.math[o.op.value()];
+            const int e = std::min(o.width, st.eff_width);
+            if (e < rw && !fits_width(math, e)) {
+                out_.add("range.capture-trunc", err, o.name, e, rw - 1,
+                         "output delivers ", e, " bits of op ", o.op,
+                         ", native result width is ", rw);
+            }
+        }
+    }
+
+    const sequencing_graph& graph_;
+    const rtl_design& design_;
+    sink& out_;
+    range_analysis ranges_;
+    std::vector<reg_state> state_;
+};
+
+// --------------------------------------------------------------------------
+// Schedule re-derivations, independent of core/validate.
+
+void schedule_checks(const sequencing_graph& graph, const datapath& path,
+                     sink& out)
+{
+    // Precedence: every producer finishes no later than its consumer
+    // starts, at the *bound* instance latency.
+    for (const op_id o : graph.all_ops()) {
+        const int finish = path.start[o.value()] + path.bound_latency(o);
+        for (const op_id s : graph.successors(o)) {
+            out.checked();
+            if (finish > path.start[s.value()]) {
+                out.add("sched.precedence", err, cat("op ", o), -1, -1,
+                        "finishes at ", finish, " but successor op ", s,
+                        " starts at ", path.start[s.value()]);
+            }
+        }
+    }
+    // Exclusivity: operations bound to one instance must be time-disjoint.
+    for (std::size_t i = 0; i < path.instances.size(); ++i) {
+        const datapath_instance& inst = path.instances[i];
+        for (std::size_t a = 0; a < inst.ops.size(); ++a) {
+            for (std::size_t b = a + 1; b < inst.ops.size(); ++b) {
+                out.checked();
+                const int sa = path.start[inst.ops[a].value()];
+                const int sb = path.start[inst.ops[b].value()];
+                if (!(sa + inst.latency <= sb || sb + inst.latency <= sa)) {
+                    out.add("sched.exclusivity", err, cat("instance ", i),
+                            -1, -1, "ops ", inst.ops[a], " and ",
+                            inst.ops[b], " overlap in time");
+                }
+            }
+        }
+    }
+}
+
+/// Register sharing against independently recomputed (correct-semantics)
+/// lifetimes: two values time-multiplexed onto one register must have
+/// disjoint live ranges. Catches an allocator (or the legacy output-
+/// recycling mode) packing a last-cycle capture into a register a primary
+/// output is still holding.
+void lifetime_checks(const sequencing_graph& graph, const datapath& path,
+                     const rtl_netlist& net, sink& out)
+{
+    const std::vector<value_lifetime> truth = compute_lifetimes(graph, path);
+    for (std::size_t r = 0; r < net.registers.size(); ++r) {
+        const std::vector<std::size_t>& values = net.registers[r].values;
+        for (std::size_t a = 0; a < values.size(); ++a) {
+            for (std::size_t b = a + 1; b < values.size(); ++b) {
+                out.checked();
+                const value_lifetime& va = truth[values[a]];
+                const value_lifetime& vb = truth[values[b]];
+                if (va.birth < vb.death && vb.birth < va.death) {
+                    out.add("sched.lifetime-overlap", err, cat("r", r), -1,
+                            -1, "values of op ", va.producer, " [",
+                            va.birth, ", ", va.death, ") and op ",
+                            vb.producer, " [", vb.birth, ", ", vb.death,
+                            ") share the register while both live");
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+analysis_report analyze_design(const sequencing_graph& graph,
+                               const rtl_design& design,
+                               const analyze_options& options)
+{
+    analysis_report report;
+    sink out(report, options.max_findings);
+
+    if (design.n_ops != graph.size()) {
+        out.add("lint.graph-mismatch", err, "design", -1, -1,
+                "design has ", design.n_ops, " ops, graph has ",
+                graph.size());
+        return report; // the walk would mis-index everything downstream
+    }
+    if (options.structural) {
+        structural_lints(design, out);
+    }
+    if (options.ranges) {
+        range_walk(graph, design, out).run();
+    }
+    return report;
+}
+
+analysis_report analyze_allocation(const sequencing_graph& graph,
+                                   const hardware_model& model,
+                                   const datapath& path,
+                                   const elaborate_options& elaborate_opts,
+                                   const analyze_options& options)
+{
+    analysis_report report;
+    sink out(report, options.max_findings);
+
+    if (path.start.size() != graph.size() ||
+        path.instance_of_op.size() != graph.size()) {
+        out.add("sched.size-mismatch", err, "path", -1, -1,
+                "datapath vectors do not match the graph (", graph.size(),
+                " ops)");
+        return report;
+    }
+    for (const op_id o : graph.all_ops()) {
+        out.checked();
+        if (path.start[o.value()] < 0 ||
+            path.instance_of_op[o.value()] >= path.instances.size()) {
+            out.add("sched.unscheduled", err, cat("op ", o), -1, -1,
+                    "operation is unscheduled or bound to an unknown "
+                    "instance");
+        }
+    }
+    if (!report.findings.empty()) {
+        return report; // timing/lifetime derivations assume sane indices
+    }
+
+    if (options.schedule) {
+        schedule_checks(graph, path, out);
+    }
+    try {
+        const rtl_netlist net =
+            build_rtl(graph, model, path, {},
+                      elaborate_opts.legacy_output_recycling);
+        if (options.schedule) {
+            lifetime_checks(graph, path, net, out);
+        }
+        const rtl_design design =
+            elaborate(graph, path, net, "static_check", elaborate_opts);
+        if (options.structural) {
+            for (finding& f : validate_design(design)) {
+                out.checked();
+                out.push(std::move(f));
+            }
+        }
+        // Hand the design walk only the finding budget we have left, so
+        // the merged report still honours max_findings overall.
+        analyze_options inner = options;
+        inner.max_findings =
+            options.max_findings > report.findings.size()
+                ? options.max_findings - report.findings.size()
+                : 0;
+        report.merge(analyze_design(graph, design, inner));
+    } catch (const std::exception& e) {
+        out.add("lint.elaborate-error", err, "elaborate", -1, -1,
+                e.what());
+    }
+    return report;
+}
+
+} // namespace mwl

@@ -1,0 +1,91 @@
+// Static value-range / known-sign analyzer for elaborated RTL.
+//
+// The differential harness (src/verify/) proves value preservation by
+// *sampling*: random vectors through the simulator and the RTL
+// interpreter. This module proves it by *analysis*, without executing a
+// single input: starting from the declared wordlengths it propagates
+// conservative signed intervals (analyze/value_range.hpp) through the
+// structural RTL IR (rtl/rtl_design.hpp) in capture order, tracking for
+// every shared register which operation's value it holds and at what
+// effective width, and checks that every width adaptation -- operand mux
+// slices, FU port extensions, register captures, primary-output slices --
+// admits the full incoming range. The flagged classes are exactly the
+// value-corruption bugs PR 3 could only find dynamically:
+//
+//   range.operand-zero-extend   negative operand zero-extended into a port
+//   range.operand-trunc         operand sliced below its value range
+//   range.operand-unwrapped     no wrap at the operation's native width
+//   range.capture-zero-extend   negative result zero-extended into a
+//                               wider shared register (stale upper bits
+//                               on readback)
+//   range.capture-trunc / range.capture-unwrapped
+//   range.unsigned-mul          unsigned multiply body on signed operands
+//   range.stale-operand         shared register clobbered before a read
+//   range.output-clobbered      output register recycled by a later value
+//   range.uninitialized-read / range.missing-select / range.input-narrow
+//
+// A key property, tested by the mutation harness (tests/analyze_test.cpp):
+// on a correctly elaborated design every adaptation is *structurally*
+// exact (slice width == the required native width), so the analyzer
+// reports nothing without consulting a single interval -- zero false
+// positives by construction. Intervals only decide whether a *mismatched*
+// adaptation still happens to be value-preserving, and over-approximation
+// errs toward flagging, never toward missing (zero false negatives).
+//
+// Structural lints ride on the same walk (select overlaps, same-cycle
+// write-write races, dead/unwritten registers, unread inputs, capture
+// cardinality), and `analyze_allocation` re-derives schedule precedence,
+// instance exclusivity and register lifetime overlap independently of
+// core/validate.
+
+#ifndef MWL_ANALYZE_ANALYZE_HPP
+#define MWL_ANALYZE_ANALYZE_HPP
+
+#include "model/hardware_model.hpp"
+#include "rtl/elaborate.hpp"
+#include "support/finding.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace mwl {
+
+struct analyze_options {
+    bool structural = true; ///< IR lints (overlaps, dead nodes, races)
+    bool ranges = true;     ///< value-range / known-sign propagation
+    bool schedule = true;   ///< datapath-level re-derivations
+                            ///< (analyze_allocation only)
+    /// Stop collecting after this many findings (pathological designs).
+    std::size_t max_findings = 256;
+};
+
+struct analysis_report {
+    std::vector<finding> findings;
+    std::size_t checks = 0;  ///< individual facts verified
+    bool truncated = false;  ///< finding list hit max_findings
+
+    [[nodiscard]] bool ok() const { return findings.empty(); }
+    void merge(analysis_report other);
+};
+
+/// Analyze one elaborated design against the graph that defines its
+/// reference semantics. Never throws on malformed designs: inconsistent
+/// indices and widths become findings, and the value walk degrades
+/// gracefully around them.
+[[nodiscard]] analysis_report analyze_design(const sequencing_graph& graph,
+                                             const rtl_design& design,
+                                             const analyze_options& options = {});
+
+/// Full static verification of one allocation: re-derive schedule
+/// precedence / exclusivity / register-lifetime overlap, then elaborate
+/// (honouring the legacy bug knobs, for the mutation harness) and run
+/// `analyze_design`. An elaboration failure is itself a finding
+/// ("lint.elaborate-error"), never an exception.
+[[nodiscard]] analysis_report analyze_allocation(
+    const sequencing_graph& graph, const hardware_model& model,
+    const datapath& path, const elaborate_options& elaborate_opts = {},
+    const analyze_options& options = {});
+
+} // namespace mwl
+
+#endif // MWL_ANALYZE_ANALYZE_HPP

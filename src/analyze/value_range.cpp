@@ -1,0 +1,123 @@
+#include "analyze/value_range.hpp"
+
+#include "rtl/lifetimes.hpp"
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mwl {
+namespace {
+
+/// Signals are < 63 bits by the simulator contract; clamp defensively so
+/// a hand-written over-wide graph degrades to "anything" instead of UB.
+constexpr int max_width = 62;
+
+int clamp_width(int width)
+{
+    return std::min(std::max(width, 1), max_width + 1);
+}
+
+/// Clamp a 128-bit intermediate back into int64. Only reachable for
+/// degenerate over-wide graphs; the fit checks then treat the clamped
+/// interval as not fitting any signal width, which is sound.
+std::int64_t clamp_to_int64(__int128 v)
+{
+    constexpr std::int64_t int64_lo = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t int64_hi = std::numeric_limits<std::int64_t>::max();
+    if (v < int64_lo) {
+        return int64_lo;
+    }
+    if (v > int64_hi) {
+        return int64_hi;
+    }
+    return static_cast<std::int64_t>(v);
+}
+
+value_interval add(const value_interval& a, const value_interval& b)
+{
+    return {clamp_to_int64(static_cast<__int128>(a.lo) + b.lo),
+            clamp_to_int64(static_cast<__int128>(a.hi) + b.hi)};
+}
+
+value_interval multiply(const value_interval& a, const value_interval& b)
+{
+    // Form the four corner products exactly in 128-bit.
+    const auto corners = {
+        static_cast<__int128>(a.lo) * b.lo, static_cast<__int128>(a.lo) * b.hi,
+        static_cast<__int128>(a.hi) * b.lo, static_cast<__int128>(a.hi) * b.hi};
+    __int128 lo = *corners.begin();
+    __int128 hi = lo;
+    for (const __int128 c : corners) {
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+    }
+    return {clamp_to_int64(lo), clamp_to_int64(hi)};
+}
+
+} // namespace
+
+value_interval full_range(int width)
+{
+    const int w = clamp_width(width);
+    return {-(std::int64_t{1} << (w - 1)),
+            (std::int64_t{1} << (w - 1)) - 1};
+}
+
+bool fits_width(const value_interval& v, int width)
+{
+    if (width >= 63) {
+        return true;
+    }
+    const value_interval full = full_range(width);
+    return full.lo <= v.lo && v.hi <= full.hi;
+}
+
+value_interval wrap_interval(const value_interval& v, int width)
+{
+    return fits_width(v, width) ? v : full_range(width);
+}
+
+range_analysis analyze_ranges(const sequencing_graph& graph)
+{
+    range_analysis ranges;
+    ranges.operand.assign(graph.size(), {});
+    ranges.math.assign(graph.size(), {});
+    ranges.result.assign(graph.size(), {});
+
+    for (const op_id o : graph.topological_order()) {
+        const op_shape& shape = graph.shape(o);
+        const auto preds = graph.predecessors(o);
+        require(preds.size() <= 2, "operations take at most two operands");
+
+        std::array<value_interval, 2> in;
+        for (int port = 0; port < 2; ++port) {
+            const int width = operand_width(shape, port);
+            if (static_cast<std::size_t>(port) < preds.size()) {
+                // Reference semantics wrap the predecessor's (already
+                // wrapped) result again at this operation's operand width.
+                const value_interval& src =
+                    ranges.result[preds[static_cast<std::size_t>(port)]
+                                      .value()];
+                in[static_cast<std::size_t>(port)] =
+                    wrap_interval(src, width);
+            } else {
+                in[static_cast<std::size_t>(port)] = full_range(width);
+            }
+        }
+        ranges.operand[o.value()] = in;
+
+        value_interval math;
+        if (shape.kind() == op_kind::add) {
+            math = add(in[0], in[1]);
+        } else {
+            math = multiply(in[0], in[1]);
+        }
+        ranges.math[o.value()] = math;
+        ranges.result[o.value()] =
+            wrap_interval(math, result_width(shape));
+    }
+    return ranges;
+}
+
+} // namespace mwl

@@ -1,0 +1,76 @@
+// Abstract-interpretation value ranges over the sequencing graph.
+//
+// For every operation, derive a conservative signed interval of the values
+// the *reference semantics* (sim/reference_evaluate) can produce, starting
+// from the full two's-complement range of every external operand at its
+// declared wordlength. Three intervals per operation:
+//
+//   * `operand[p]` -- the value the reference feeds into port p, i.e. the
+//     predecessor's result wrapped at the operation's native operand width
+//     (or the full external range for ports with no predecessor);
+//   * `math`   -- the exact arithmetic result (sum/product of the operand
+//     intervals) *before* any wrap;
+//   * `result` -- `math` wrapped at the operation's native result width:
+//     equal to `math` whenever it provably fits, the full range otherwise.
+//
+// The static analyzer (analyze.hpp) uses these to decide which width
+// adaptations in the elaborated RTL are value-preserving: a slice is
+// harmless iff the incoming interval fits the slice width; a
+// zero-extension is harmless iff the incoming interval is provably
+// non-negative. Over-approximation is sound in the only direction that
+// matters -- an interval that is too wide can flag a benign adaptation on
+// a *broken* design, never miss a corrupting one.
+//
+// All arithmetic is exact: widths are capped (result < 63 bits, enforced
+// upstream by the simulator contract) so sums stay within int64 and
+// products are formed in 128-bit before the fit check.
+
+#ifndef MWL_ANALYZE_VALUE_RANGE_HPP
+#define MWL_ANALYZE_VALUE_RANGE_HPP
+
+#include "dfg/sequencing_graph.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mwl {
+
+/// Inclusive signed interval [lo, hi].
+struct value_interval {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+
+    [[nodiscard]] bool contains_negative() const { return lo < 0; }
+
+    friend bool operator==(const value_interval&,
+                           const value_interval&) = default;
+};
+
+/// The full two's-complement range at `width` bits (width in [1, 63]).
+[[nodiscard]] value_interval full_range(int width);
+
+/// True iff every value in `v` is representable in `width`-bit two's
+/// complement (width >= 63 always fits: signals are narrower by contract).
+[[nodiscard]] bool fits_width(const value_interval& v, int width);
+
+/// `v` wrapped at `width` bits: `v` itself when it fits, the full range
+/// otherwise (sound, and exact in the case the analyzer must be exact in).
+[[nodiscard]] value_interval wrap_interval(const value_interval& v,
+                                           int width);
+
+struct range_analysis {
+    /// Per op id, reference operand value intervals at ports 0/1.
+    std::vector<std::array<value_interval, 2>> operand;
+    /// Per op id, exact pre-wrap arithmetic result interval.
+    std::vector<value_interval> math;
+    /// Per op id, post-wrap interval at the native result width.
+    std::vector<value_interval> result;
+};
+
+/// Propagate intervals through `graph` in topological order.
+[[nodiscard]] range_analysis analyze_ranges(const sequencing_graph& graph);
+
+} // namespace mwl
+
+#endif // MWL_ANALYZE_VALUE_RANGE_HPP

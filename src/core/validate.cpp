@@ -10,24 +10,37 @@ namespace mwl {
 namespace {
 
 template <typename... Parts>
-void report(std::vector<std::string>& out, const Parts&... parts)
+void report(std::vector<finding>& out, const char* rule,
+            std::string location, const Parts&... parts)
 {
     std::ostringstream os;
     (os << ... << parts);
-    out.push_back(os.str());
+    out.push_back(make_finding(rule, finding_severity::error,
+                               std::move(location), os.str()));
+}
+
+std::string op_loc(std::size_t o)
+{
+    return "op " + std::to_string(o);
+}
+
+std::string inst_loc(std::size_t i)
+{
+    return "instance " + std::to_string(i);
 }
 
 } // namespace
 
-std::vector<std::string> validate_datapath(const sequencing_graph& graph,
-                                           const hardware_model& model,
-                                           const datapath& path, int lambda)
+std::vector<finding> validate_datapath(const sequencing_graph& graph,
+                                       const hardware_model& model,
+                                       const datapath& path, int lambda)
 {
-    std::vector<std::string> bad;
+    std::vector<finding> bad;
     const std::size_t n = graph.size();
 
     if (path.start.size() != n || path.instance_of_op.size() != n) {
-        report(bad, "vector sizes do not match the graph (", n, " ops)");
+        report(bad, "datapath.size-mismatch", "path",
+               "vector sizes do not match the graph (", n, " ops)");
         return bad; // everything else would index out of range
     }
 
@@ -37,44 +50,49 @@ std::vector<std::string> validate_datapath(const sequencing_graph& graph,
     for (std::size_t i = 0; i < path.instances.size(); ++i) {
         const datapath_instance& inst = path.instances[i];
         if (inst.ops.empty()) {
-            report(bad, "instance ", i, " executes no operation");
+            report(bad, "datapath.empty-instance", inst_loc(i),
+                   "executes no operation");
         }
         if (inst.latency != model.latency(inst.shape)) {
-            report(bad, "instance ", i, " latency ", inst.latency,
-                   " != model latency ", model.latency(inst.shape));
+            report(bad, "datapath.latency-model", inst_loc(i), "latency ",
+                   inst.latency, " != model latency ",
+                   model.latency(inst.shape));
         }
         if (inst.area != model.area(inst.shape)) {
-            report(bad, "instance ", i, " area ", inst.area,
-                   " != model area ", model.area(inst.shape));
+            report(bad, "datapath.area-model", inst_loc(i), "area ",
+                   inst.area, " != model area ", model.area(inst.shape));
         }
         area_sum += inst.area;
         for (const op_id o : inst.ops) {
             if (o.value() >= n) {
-                report(bad, "instance ", i, " lists unknown op ", o.value());
+                report(bad, "datapath.unknown-op", inst_loc(i),
+                       "lists unknown op ", o.value());
                 continue;
             }
             ++seen[o.value()];
             if (path.instance_of_op[o.value()] != i) {
-                report(bad, "op ", o.value(),
-                       " membership disagrees with instance_of_op");
+                report(bad, "datapath.membership", op_loc(o.value()),
+                       "membership disagrees with instance_of_op");
             }
             if (!inst.shape.covers(graph.shape(o))) {
-                report(bad, "instance ", i, " (", inst.shape.to_string(),
-                       ") cannot execute op ", o.value(), " (",
-                       graph.shape(o).to_string(), ")");
+                report(bad, "datapath.coverage", inst_loc(i), "(",
+                       inst.shape.to_string(), ") cannot execute op ",
+                       o.value(), " (", graph.shape(o).to_string(), ")");
             }
         }
     }
     for (std::size_t o = 0; o < n; ++o) {
         if (seen[o] != 1) {
-            report(bad, "op ", o, " appears in ", seen[o],
-                   " instances (expected exactly 1)");
+            report(bad, "datapath.op-count", op_loc(o), "appears in ",
+                   seen[o], " instances (expected exactly 1)");
         }
         if (path.instance_of_op[o] >= path.instances.size()) {
-            report(bad, "op ", o, " bound to unknown instance");
+            report(bad, "datapath.unknown-instance", op_loc(o),
+                   "bound to unknown instance");
         }
         if (path.start[o] < 0) {
-            report(bad, "op ", o, " is unscheduled");
+            report(bad, "datapath.unscheduled", op_loc(o),
+                   "is unscheduled");
         }
     }
     if (!bad.empty()) {
@@ -87,8 +105,8 @@ std::vector<std::string> validate_datapath(const sequencing_graph& graph,
         for (const op_id s : graph.successors(o)) {
             const int finish = path.start[o.value()] + path.bound_latency(o);
             if (finish > path.start[s.value()]) {
-                report(bad, "dependency violated: op ", o.value(),
-                       " finishes at ", finish, " but op ", s.value(),
+                report(bad, "datapath.dependency", op_loc(o.value()),
+                       "finishes at ", finish, " but op ", s.value(),
                        " starts at ", path.start[s.value()]);
             }
         }
@@ -104,9 +122,9 @@ std::vector<std::string> validate_datapath(const sequencing_graph& graph,
                 const bool disjoint =
                     sa + inst.latency <= sb || sb + inst.latency <= sa;
                 if (!disjoint) {
-                    report(bad, "instance ", i, ": ops ",
-                           inst.ops[a].value(), " and ", inst.ops[b].value(),
-                           " overlap in time");
+                    report(bad, "datapath.exclusivity", inst_loc(i), "ops ",
+                           inst.ops[a].value(), " and ",
+                           inst.ops[b].value(), " overlap in time");
                 }
             }
         }
@@ -119,15 +137,16 @@ std::vector<std::string> validate_datapath(const sequencing_graph& graph,
             std::max(makespan, path.start[o.value()] + path.bound_latency(o));
     }
     if (makespan != path.latency) {
-        report(bad, "recorded latency ", path.latency, " != recomputed ",
-               makespan);
+        report(bad, "datapath.latency-sum", "path", "recorded latency ",
+               path.latency, " != recomputed ", makespan);
     }
     if (std::abs(area_sum - path.total_area) > 1e-9) {
-        report(bad, "recorded area ", path.total_area, " != recomputed ",
-               area_sum);
+        report(bad, "datapath.area-sum", "path", "recorded area ",
+               path.total_area, " != recomputed ", area_sum);
     }
     if (lambda >= 0 && makespan > lambda) {
-        report(bad, "latency constraint violated: ", makespan, " > ", lambda);
+        report(bad, "datapath.latency-constraint", "path",
+               "latency constraint violated: ", makespan, " > ", lambda);
     }
     return bad;
 }
@@ -135,17 +154,13 @@ std::vector<std::string> validate_datapath(const sequencing_graph& graph,
 void require_valid(const sequencing_graph& graph, const hardware_model& model,
                    const datapath& path, int lambda)
 {
-    const std::vector<std::string> bad =
+    const std::vector<finding> bad =
         validate_datapath(graph, model, path, lambda);
     if (bad.empty()) {
         return;
     }
-    std::ostringstream os;
-    os << "invalid datapath (" << bad.size() << " violations):";
-    for (const std::string& line : bad) {
-        os << "\n  - " << line;
-    }
-    throw error(os.str());
+    throw error("invalid datapath (" + std::to_string(bad.size()) +
+                " violations):" + format_findings(bad));
 }
 
 } // namespace mwl

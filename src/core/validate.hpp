@@ -5,22 +5,24 @@
 // property from first principles -- data dependencies, per-instance
 // exclusivity, wordlength coverage, model-consistent latency/area, and the
 // latency constraint -- so the test-suite never has to trust the algorithm
-// under test.
+// under test. Violations are reported as `datapath.*` findings
+// (support/finding.hpp), the same structure the RTL validator and the
+// static analyzer use, so tools can merge all three into one report.
 
 #ifndef MWL_CORE_VALIDATE_HPP
 #define MWL_CORE_VALIDATE_HPP
 
 #include "core/datapath.hpp"
 #include "model/hardware_model.hpp"
+#include "support/finding.hpp"
 
-#include <string>
 #include <vector>
 
 namespace mwl {
 
 /// All rule violations found (empty == valid). `lambda` is the user latency
 /// constraint; pass a negative value to skip the constraint check.
-[[nodiscard]] std::vector<std::string> validate_datapath(
+[[nodiscard]] std::vector<finding> validate_datapath(
     const sequencing_graph& graph, const hardware_model& model,
     const datapath& path, int lambda);
 

@@ -1,5 +1,6 @@
 #include "engine/batch_engine.hpp"
 
+#include "analyze/analyze.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 
@@ -25,14 +26,43 @@ std::size_t batch_engine::job_key_hash::operator()(const job_key& key) const
 
 batch_engine::batch_engine(const batch_options& options)
     : owned_pool_(std::make_unique<thread_pool>(options.jobs)),
-      pool_(owned_pool_.get()),
+      pool_(owned_pool_.get()), debug_static_check_(options.debug_static_check),
       cache_(options.cache_capacity, options.cache_shards)
 {
 }
 
 batch_engine::batch_engine(thread_pool& pool, const batch_options& options)
-    : pool_(&pool), cache_(options.cache_capacity, options.cache_shards)
+    : pool_(&pool), debug_static_check_(options.debug_static_check),
+      cache_(options.cache_capacity, options.cache_shards)
 {
+}
+
+void batch_engine::allocate(const sequencing_graph& graph,
+                            const hardware_model& model, int lambda,
+                            const dpalloc_options& options,
+                            std::shared_ptr<const dpalloc_result>& result,
+                            std::string& error) const
+{
+    try {
+        result = std::make_shared<const dpalloc_result>(
+            dpalloc(graph, model, lambda, options));
+        if (debug_static_check_) {
+            const analysis_report report =
+                analyze_allocation(graph, model, result->path);
+            if (!report.ok()) {
+                error = "static check failed (" +
+                        std::to_string(report.findings.size()) +
+                        " findings):" + format_findings(report.findings);
+                result.reset();
+            }
+        }
+    } catch (const std::exception& e) {
+        result.reset();
+        error = e.what();
+        if (error.empty()) {
+            error = "allocation failed";
+        }
+    }
 }
 
 batch_engine::~batch_engine()
@@ -131,15 +161,7 @@ batch_engine::outcome batch_engine::run(const sequencing_graph& graph,
     // request tasks, so the work happens where the request is.
     std::shared_ptr<const dpalloc_result> result;
     std::string error;
-    try {
-        result = std::make_shared<const dpalloc_result>(
-            dpalloc(graph, model, lambda, options));
-    } catch (const std::exception& e) {
-        error = e.what();
-        if (error.empty()) {
-            error = "allocation failed";
-        }
-    }
+    allocate(graph, model, lambda, options, result, error);
     resolve(key, result, error);
     outcome out;
     out.result = std::move(result);
@@ -183,15 +205,7 @@ void batch_engine::execute(const job_key& key, const sequencing_graph& graph,
 {
     std::shared_ptr<const dpalloc_result> result;
     std::string error;
-    try {
-        result = std::make_shared<const dpalloc_result>(
-            dpalloc(graph, model, key.lambda, key.options));
-    } catch (const std::exception& e) {
-        error = e.what();
-        if (error.empty()) {
-            error = "allocation failed";
-        }
-    }
+    allocate(graph, model, key.lambda, key.options, result, error);
     resolve(key, std::move(result), std::move(error));
 }
 

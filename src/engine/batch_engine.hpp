@@ -65,6 +65,11 @@ struct batch_options {
     /// serve traffic; 16 keeps per-shard capacity sane at the default
     /// cache size.
     std::size_t cache_shards = 16;
+    /// Debug mode: run the static analyzer (analyze_allocation) over every
+    /// freshly executed allocation; findings turn the job into an error
+    /// carrying the rendered report. Costs one elaboration per execution
+    /// (cache hits and coalesced jobs are not re-checked).
+    bool debug_static_check = false;
 };
 
 /// Cumulative engine statistics up to `stats()` (kept for the batch
@@ -201,6 +206,12 @@ private:
 
     void execute(const job_key& key, const sequencing_graph& graph,
                  const hardware_model& model);
+    /// dpalloc + (optionally) the static analyzer; fills exactly one of
+    /// `result` / `error`.
+    void allocate(const sequencing_graph& graph, const hardware_model& model,
+                  int lambda, const dpalloc_options& options,
+                  std::shared_ptr<const dpalloc_result>& result,
+                  std::string& error) const;
     void resolve(const job_key& key,
                  std::shared_ptr<const dpalloc_result> result,
                  std::string error);
@@ -209,6 +220,7 @@ private:
 
     std::unique_ptr<thread_pool> owned_pool_; ///< null when pool is shared
     thread_pool* pool_;
+    bool debug_static_check_ = false;
 
     mutable std::mutex mutex_;
     std::condition_variable idle_cv_;

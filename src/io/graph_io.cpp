@@ -106,7 +106,12 @@ std::string write_graph(const sequencing_graph& graph)
     std::ostringstream out;
     const auto name_of = [&](op_id o) {
         const std::string& name = graph.op(o).name;
-        return name.empty() ? "o" + std::to_string(o.value()) : name;
+        if (!name.empty()) {
+            return name;
+        }
+        std::string fallback = "o"; // split concat: gcc 12 -Wrestrict
+        fallback += std::to_string(o.value());
+        return fallback;
     };
     for (const op_id o : graph.all_ops()) {
         const op_shape& s = graph.shape(o);

@@ -89,6 +89,8 @@ rtl_design elaborate(const sequencing_graph& graph, const datapath& path,
         fu.width_a = operand_width(inst.shape, 0);
         fu.width_b = operand_width(inst.shape, 1);
         fu.width_y = result_width(inst.shape);
+        fu.signed_arith = !(options.legacy_unsigned_multiply &&
+                            inst.shape.kind() == op_kind::mul);
         {
             std::ostringstream comment;
             comment << inst.shape.to_string() << " executing";

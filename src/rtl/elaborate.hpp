@@ -36,6 +36,25 @@ struct elaborate_options {
     /// zero-extended into wider shared registers, so negative results
     /// read back with zero upper bits. For harness self-tests.
     bool legacy_capture_extension = false;
+    /// Reproduce the historical unsigned multiplier body (`a * b` on raw
+    /// bit patterns instead of `$signed` operands): the upper half of a
+    /// full-width product is wrong whenever an operand is negative. For
+    /// harness self-tests.
+    bool legacy_unsigned_multiply = false;
+    /// Reproduce the pre-fix output lifetime (death == latency instead of
+    /// latency + 1): a last-cycle capture may recycle the register of a
+    /// primary output still being read from outside. Takes effect through
+    /// `build_rtl` / `compute_lifetimes`, which accept the same flag. For
+    /// harness self-tests.
+    bool legacy_output_recycling = false;
+
+    /// True when any historical bug is being reproduced (callers skip the
+    /// structural validator and expect the harness to flag the design).
+    [[nodiscard]] bool any() const
+    {
+        return legacy_operand_extension || legacy_capture_extension ||
+               legacy_unsigned_multiply || legacy_output_recycling;
+    }
 };
 
 /// Build the structural RTL IR for an allocated datapath. `net` must have

@@ -19,7 +19,8 @@ int result_width(const op_shape& shape)
 }
 
 std::vector<value_lifetime> compute_lifetimes(const sequencing_graph& graph,
-                                              const datapath& path)
+                                              const datapath& path,
+                                              bool legacy_output_recycling)
 {
     require(path.start.size() == graph.size(),
             "datapath does not match graph");
@@ -34,7 +35,8 @@ std::vector<value_lifetime> compute_lifetimes(const sequencing_graph& graph,
             // Primary output: live strictly *past* the final capture edge,
             // so a value captured on the last cycle can never recycle the
             // register of another output still being read from outside.
-            v.death = path.latency + 1;
+            // The legacy flag restores the pre-fix death of `latency`.
+            v.death = path.latency + (legacy_output_recycling ? 0 : 1);
         } else {
             // Consumers sample their operands for their whole execution
             // span (combinational units with held operand selection), so

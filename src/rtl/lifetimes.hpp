@@ -45,8 +45,13 @@ struct rtl_register {
 /// ordered by op id. Zero-length lifetimes (value consumed in the cycle
 /// it appears) are kept with death == birth; they still need a register
 /// (one cycle of storage) and are widened to death = birth + 1.
+/// `legacy_output_recycling` restores the pre-fix output death of
+/// `latency` (instead of latency + 1), letting a last-cycle capture
+/// recycle an output's register -- only for harness self-tests
+/// (elaborate_options::legacy_output_recycling).
 [[nodiscard]] std::vector<value_lifetime> compute_lifetimes(
-    const sequencing_graph& graph, const datapath& path);
+    const sequencing_graph& graph, const datapath& path,
+    bool legacy_output_recycling = false);
 
 /// Left-edge register allocation. Deterministic (birth, then op id).
 /// The returned registers reference `lifetimes` by index.

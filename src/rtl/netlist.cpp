@@ -25,11 +25,12 @@ std::vector<std::size_t> register_of_value(
 
 rtl_netlist build_rtl(const sequencing_graph& graph,
                       const hardware_model& model, const datapath& path,
-                      const rtl_cost_model& cost)
+                      const rtl_cost_model& cost,
+                      bool legacy_output_recycling)
 {
     static_cast<void>(model);
     rtl_netlist net;
-    net.lifetimes = compute_lifetimes(graph, path);
+    net.lifetimes = compute_lifetimes(graph, path, legacy_output_recycling);
     net.registers = left_edge_allocate(net.lifetimes);
     const std::vector<std::size_t> reg_of =
         register_of_value(net.registers, net.lifetimes.size());

@@ -50,11 +50,13 @@ struct rtl_netlist {
     }
 };
 
-/// Build the netlist for an allocated datapath.
+/// Build the netlist for an allocated datapath. `legacy_output_recycling`
+/// is forwarded to `compute_lifetimes` (harness self-tests only).
 [[nodiscard]] rtl_netlist build_rtl(const sequencing_graph& graph,
                                     const hardware_model& model,
                                     const datapath& path,
-                                    const rtl_cost_model& cost = {});
+                                    const rtl_cost_model& cost = {},
+                                    bool legacy_output_recycling = false);
 
 } // namespace mwl
 

@@ -7,57 +7,70 @@ namespace mwl {
 namespace {
 
 template <typename... Parts>
-void report(std::vector<std::string>& out, const Parts&... parts)
+std::string cat(const Parts&... parts)
 {
     std::ostringstream os;
     (os << ... << parts);
-    out.push_back(os.str());
+    return os.str();
 }
 
-void check_adapt(std::vector<std::string>& bad, const rtl_adapt& adapt,
+template <typename... Parts>
+void report(std::vector<finding>& out, const char* rule,
+            std::string location, const Parts&... parts)
+{
+    out.push_back(make_finding(rule, finding_severity::error,
+                               std::move(location), cat(parts...)));
+}
+
+void check_adapt(std::vector<finding>& bad, const rtl_adapt& adapt,
                  int src_width, int sink_width, const std::string& where)
 {
     if (adapt.slice_width < 1 || adapt.slice_width > src_width) {
-        report(bad, where, ": slice width ", adapt.slice_width,
-               " outside the source's ", src_width, " bits");
+        report(bad, "rtl.adapt-slice", where, "slice width ",
+               adapt.slice_width, " outside the source's ", src_width,
+               " bits");
     }
     if (adapt.out_width != sink_width) {
-        report(bad, where, ": adapted width ", adapt.out_width,
-               " != sink width ", sink_width);
+        report(bad, "rtl.adapt-sink", where, "adapted width ",
+               adapt.out_width, " != sink width ", sink_width);
     }
     if (adapt.out_width < adapt.slice_width) {
-        report(bad, where, ": extension narrows (", adapt.slice_width,
-               " -> ", adapt.out_width, " bits)");
+        report(bad, "rtl.adapt-narrowing", where, "extension narrows (",
+               adapt.slice_width, " -> ", adapt.out_width, " bits)");
     }
     if (adapt.out_width > adapt.slice_width && !adapt.sign_extend) {
-        report(bad, where, ": widening ", adapt.slice_width, " -> ",
-               adapt.out_width,
-               " bits zero-extends (corrupts negative values)");
+        bad.push_back(make_finding(
+            "rtl.adapt-zero-extend", finding_severity::error, where,
+            cat("widening ", adapt.slice_width, " -> ", adapt.out_width,
+                " bits zero-extends (corrupts negative values)"),
+            adapt.slice_width, adapt.out_width - 1));
     }
 }
 
 } // namespace
 
-std::vector<std::string> validate_design(const rtl_design& design)
+std::vector<finding> validate_design(const rtl_design& design)
 {
-    std::vector<std::string> bad;
+    std::vector<finding> bad;
 
     if (design.latency < 0) {
-        report(bad, "negative latency ", design.latency);
+        report(bad, "rtl.latency", "design", "negative latency ",
+               design.latency);
     }
     if (design.counter_bits < 1) {
-        report(bad, "counter width ", design.counter_bits, " < 1");
+        report(bad, "rtl.counter", "design", "counter width ",
+               design.counter_bits, " < 1");
     }
     for (std::size_t r = 0; r < design.register_width.size(); ++r) {
         if (design.register_width[r] < 1) {
-            report(bad, "register r", r, " has width ",
+            report(bad, "rtl.register-width", cat("r", r), "has width ",
                    design.register_width[r]);
         }
     }
     for (std::size_t i = 0; i < design.inputs.size(); ++i) {
         if (design.inputs[i].width < 1) {
-            report(bad, "input ", design.inputs[i].name, " has width ",
-                   design.inputs[i].width);
+            report(bad, "rtl.input-width", design.inputs[i].name,
+                   "has width ", design.inputs[i].width);
         }
     }
 
@@ -65,30 +78,31 @@ std::vector<std::string> validate_design(const rtl_design& design)
     for (std::size_t f = 0; f < design.fus.size(); ++f) {
         const rtl_fu& fu = design.fus[f];
         if (fu.width_a < 1 || fu.width_b < 1 || fu.width_y < 1) {
-            report(bad, "fu", f, " has a non-positive port width");
+            report(bad, "rtl.fu-width", cat("fu", f),
+                   "has a non-positive port width");
         }
         for (int port = 0; port < 2; ++port) {
             const int port_width = port == 0 ? fu.width_a : fu.width_b;
             const auto& selects =
                 fu.select[static_cast<std::size_t>(port)];
             for (const rtl_operand_select& sel : selects) {
-                std::ostringstream where;
-                where << "fu" << f << (port == 0 ? "_a" : "_b") << " (op "
-                      << sel.op << ")";
+                const std::string where =
+                    cat("fu", f, (port == 0 ? "_a" : "_b"), " (op ",
+                        sel.op, ")");
                 if (sel.first_cycle < 0 || sel.last_cycle < sel.first_cycle ||
                     sel.last_cycle >= design.latency) {
-                    report(bad, where.str(), ": select span [",
+                    report(bad, "rtl.select-span", where, "select span [",
                            sel.first_cycle, ", ", sel.last_cycle,
                            "] outside the ", design.latency,
                            "-cycle schedule");
                 }
                 const int src = source_width(design, sel.source);
                 if (src == 0) {
-                    report(bad, where.str(), ": source index ",
+                    report(bad, "rtl.select-source", where, "source index ",
                            sel.source.index, " out of range");
                     continue;
                 }
-                check_adapt(bad, sel.adapt, src, port_width, where.str());
+                check_adapt(bad, sel.adapt, src, port_width, where);
             }
             // Selections on one port must be time-disjoint: two operations
             // driving the same operand register in the same cycle would
@@ -99,8 +113,9 @@ std::vector<std::string> validate_design(const rtl_design& design)
                         selects[a].last_cycle < selects[b].first_cycle ||
                         selects[b].last_cycle < selects[a].first_cycle;
                     if (!disjoint) {
-                        report(bad, "fu", f, (port == 0 ? "_a" : "_b"),
-                               ": ops ", selects[a].op, " and ",
+                        report(bad, "rtl.select-overlap",
+                               cat("fu", f, (port == 0 ? "_a" : "_b")),
+                               "ops ", selects[a].op, " and ",
                                selects[b].op, " select in the same cycle");
                     }
                 }
@@ -111,37 +126,38 @@ std::vector<std::string> validate_design(const rtl_design& design)
     // Captures: each op exactly once, indices in range, widths consistent.
     std::vector<std::size_t> captured(design.n_ops, 0);
     for (const rtl_capture& cap : design.captures) {
-        std::ostringstream where;
-        where << "capture of op " << cap.op;
+        const std::string where = cat("capture of op ", cap.op);
         if (cap.cycle < 0 || cap.cycle >= design.latency) {
-            report(bad, where.str(), ": cycle ", cap.cycle,
+            report(bad, "rtl.capture-cycle", where, "cycle ", cap.cycle,
                    " outside the ", design.latency, "-cycle schedule");
         }
         if (cap.reg >= design.register_width.size()) {
-            report(bad, where.str(), ": unknown register ", cap.reg);
+            report(bad, "rtl.capture-register", where, "unknown register ",
+                   cap.reg);
             continue;
         }
         if (cap.fu >= design.fus.size()) {
-            report(bad, where.str(), ": unknown fu ", cap.fu);
+            report(bad, "rtl.capture-fu", where, "unknown fu ", cap.fu);
             continue;
         }
         check_adapt(bad, cap.adapt, design.fus[cap.fu].width_y,
-                    design.register_width[cap.reg], where.str());
+                    design.register_width[cap.reg], where);
         if (cap.op.is_valid() && cap.op.value() < design.n_ops) {
             ++captured[cap.op.value()];
         } else {
-            report(bad, where.str(), ": op id out of range");
+            report(bad, "rtl.capture-op", where, "op id out of range");
         }
     }
     for (std::size_t o = 0; o < design.n_ops; ++o) {
         if (captured[o] != 1) {
-            report(bad, "op ", o, " captured ", captured[o],
-                   " times (expected exactly 1)");
+            report(bad, "rtl.capture-count", cat("op ", o), "captured ",
+                   captured[o], " times (expected exactly 1)");
         }
     }
     if (!std::is_sorted(design.captures.begin(), design.captures.end(),
                         capture_order)) {
-        report(bad, "captures are not sorted by (cycle, register)");
+        report(bad, "rtl.capture-order", "captures",
+               "captures are not sorted by (cycle, register)");
     }
 
     // Two captures into one register in the same cycle would race.
@@ -149,19 +165,20 @@ std::vector<std::string> validate_design(const rtl_design& design)
         const rtl_capture& x = design.captures[a];
         const rtl_capture& y = design.captures[a + 1];
         if (x.cycle == y.cycle && x.reg == y.reg) {
-            report(bad, "register r", x.reg, " written twice in cycle ",
-                   x.cycle, " (ops ", x.op, " and ", y.op, ")");
+            report(bad, "rtl.write-write", cat("r", x.reg),
+                   "register written twice in cycle ", x.cycle, " (ops ",
+                   x.op, " and ", y.op, ")");
         }
     }
 
     for (const rtl_output& out : design.outputs) {
         if (out.reg >= design.register_width.size()) {
-            report(bad, "output ", out.name, " reads unknown register ",
-                   out.reg);
+            report(bad, "rtl.output-register", out.name,
+                   "reads unknown register ", out.reg);
             continue;
         }
         if (out.width < 1 || out.width > design.register_width[out.reg]) {
-            report(bad, "output ", out.name, " slices ", out.width,
+            report(bad, "rtl.output-width", out.name, "slices ", out.width,
                    " bits from the ", design.register_width[out.reg],
                    "-bit register r", out.reg);
         }

@@ -15,6 +15,7 @@
 #define MWL_RTL_RTL_DESIGN_HPP
 
 #include "model/op_shape.hpp"
+#include "support/finding.hpp"
 #include "support/ids.hpp"
 
 #include <array>
@@ -66,6 +67,12 @@ struct rtl_fu {
     int width_a = 1; ///< operand port widths (instance shape)
     int width_b = 1;
     int width_y = 1; ///< result width of the instance shape
+    /// Signed arithmetic body (the correct semantics: operands are
+    /// sign-extended bit patterns). `false` reproduces the historical
+    /// unsigned-`*` emission (elaborate_options::legacy_unsigned_multiply)
+    /// where a shared multiplier corrupts the upper half of signed
+    /// products; for an adder the two interpretations coincide mod 2^n.
+    bool signed_arith = true;
     std::array<std::vector<rtl_operand_select>, 2> select; ///< per port
     std::string comment; ///< shape + executed ops, for the printer
 };
@@ -145,9 +152,10 @@ struct rtl_design {
 /// inside the schedule, and -- the value-correctness invariants this IR
 /// exists to enforce -- every widening adaptation sign-extends (a
 /// zero-extending widening corrupts negative two's-complement values).
-/// Returns human-readable violations; empty means clean.
-[[nodiscard]] std::vector<std::string> validate_design(
-    const rtl_design& design);
+/// Returns `rtl.*` findings (support/finding.hpp); empty means clean.
+/// The static analyzer (src/analyze/) goes further: it only flags
+/// adaptations whose incoming *value range* makes them corrupting.
+[[nodiscard]] std::vector<finding> validate_design(const rtl_design& design);
 
 } // namespace mwl
 

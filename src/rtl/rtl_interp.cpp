@@ -87,10 +87,26 @@ rtl_interp_result interpret(const rtl_design& design,
             const rtl_fu& fu = design.fus[cap.fu];
             const std::int64_t a = port_value(fu, 0, cycle);
             const std::int64_t b = port_value(fu, 1, cycle);
-            const std::int64_t y =
-                fu.kind == op_kind::add
-                    ? wrap_to_width(a + b, fu.width_y)
-                    : wrap_to_width(a * b, fu.width_y);
+            std::int64_t y = 0;
+            if (fu.kind == op_kind::add) {
+                // Addition is identical signed or unsigned mod 2^n.
+                y = wrap_to_width(a + b, fu.width_y);
+            } else if (fu.signed_arith) {
+                y = wrap_to_width(a * b, fu.width_y);
+            } else {
+                // Legacy unsigned `*`: the product of the raw operand bit
+                // patterns, which diverges from the signed product in the
+                // upper half whenever an operand is negative.
+                const std::uint64_t mask_a =
+                    (std::uint64_t{1} << fu.width_a) - 1;
+                const std::uint64_t mask_b =
+                    (std::uint64_t{1} << fu.width_b) - 1;
+                const std::uint64_t raw =
+                    (static_cast<std::uint64_t>(a) & mask_a) *
+                    (static_cast<std::uint64_t>(b) & mask_b);
+                y = wrap_to_width(static_cast<std::int64_t>(raw),
+                                  fu.width_y);
+            }
             staged.push_back(apply_adapt(y, cap.adapt));
             // The op's value is the captured slice as a signed quantity --
             // what a consumer reading the (sign-extended) register sees.

@@ -1,0 +1,109 @@
+#include "support/finding.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace mwl {
+namespace {
+
+/// JSON string escaping for the subset of characters findings can carry
+/// (rule ids and locations are ASCII; messages may quote user text).
+void append_escaped(std::string& out, const std::string& text)
+{
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+const char* to_string(finding_severity severity)
+{
+    return severity == finding_severity::error ? "error" : "warning";
+}
+
+std::string finding::to_string() const
+{
+    std::string out;
+    if (!location.empty()) {
+        out += location;
+        out += ": ";
+    }
+    out += message;
+    out += " [";
+    out += rule;
+    out += ']';
+    return out;
+}
+
+std::string finding::to_json() const
+{
+    std::string out = "{\"rule\":";
+    append_escaped(out, rule);
+    out += ",\"severity\":\"";
+    out += mwl::to_string(severity);
+    out += "\",\"node\":";
+    append_escaped(out, location);
+    out += ",\"bits\":[" + std::to_string(bit_lo) + "," +
+           std::to_string(bit_hi) + "],\"message\":";
+    append_escaped(out, message);
+    out += '}';
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const finding& f)
+{
+    return os << f.to_string();
+}
+
+finding make_finding(std::string rule, finding_severity severity,
+                     std::string location, std::string message, int bit_lo,
+                     int bit_hi)
+{
+    finding f;
+    f.rule = std::move(rule);
+    f.severity = severity;
+    f.location = std::move(location);
+    f.message = std::move(message);
+    f.bit_lo = bit_lo;
+    f.bit_hi = bit_hi;
+    return f;
+}
+
+std::string format_findings(const std::vector<finding>& all)
+{
+    std::ostringstream os;
+    for (const finding& f : all) {
+        os << "\n  - " << f.to_string();
+    }
+    return os.str();
+}
+
+bool has_errors(const std::vector<finding>& all)
+{
+    for (const finding& f : all) {
+        if (f.severity == finding_severity::error) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace mwl

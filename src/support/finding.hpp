@@ -1,0 +1,69 @@
+// Uniform violation/finding record.
+//
+// Every checker in the repository -- the datapath validator
+// (core/validate.hpp), the structural RTL validator (rtl/rtl_design.hpp)
+// and the static analyzer (src/analyze/) -- reports problems as `finding`s:
+// a stable rule id, a severity, the location in the artefact being checked,
+// and a human-readable message. One struct means one rendering everywhere:
+// require_valid's error text, the differential harness's counterexample
+// details, drift tables and mwl_lint's JSON all format the same record
+// instead of re-parsing free-form strings.
+//
+// Rule-id namespaces (dotted, stable -- tools and tests key on them):
+//   datapath.*  validate_datapath (core/validate.hpp)
+//   rtl.*       validate_design   (rtl/rtl_design.hpp)
+//   sched.*     analyzer schedule/lifetime re-derivations (src/analyze/)
+//   lint.*      analyzer structural lints                 (src/analyze/)
+//   range.*     analyzer value-range / known-sign checks  (src/analyze/)
+
+#ifndef MWL_SUPPORT_FINDING_HPP
+#define MWL_SUPPORT_FINDING_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mwl {
+
+enum class finding_severity {
+    error,   ///< value corruption or structural breakage
+    warning, ///< suspicious but not provably value-changing
+};
+
+[[nodiscard]] const char* to_string(finding_severity severity);
+
+struct finding {
+    std::string rule;    ///< stable dotted id, e.g. "range.operand-trunc"
+    finding_severity severity = finding_severity::error;
+    std::string location; ///< checked node, e.g. "fu0.a", "r3", "op 5"
+    std::string message;  ///< human-readable explanation
+    /// Affected bit range of the flagged signal, inclusive; [-1, -1] when
+    /// the finding is not about specific bits (indices, scheduling, ...).
+    int bit_lo = -1;
+    int bit_hi = -1;
+
+    /// Uniform rendering: "location: message [rule]".
+    [[nodiscard]] std::string to_string() const;
+
+    /// One JSON object (stable key order: rule, severity, node, bits,
+    /// message), for mwl_lint artifacts and machine consumers.
+    [[nodiscard]] std::string to_json() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const finding& f);
+
+/// Construct in one expression (the checkers' `report(...)` helper).
+[[nodiscard]] finding make_finding(std::string rule,
+                                   finding_severity severity,
+                                   std::string location, std::string message,
+                                   int bit_lo = -1, int bit_hi = -1);
+
+/// Render a list as indented "  - ..." lines (require_valid's format).
+[[nodiscard]] std::string format_findings(const std::vector<finding>& all);
+
+/// True if any finding has severity `error`.
+[[nodiscard]] bool has_errors(const std::vector<finding>& all);
+
+} // namespace mwl
+
+#endif // MWL_SUPPORT_FINDING_HPP

@@ -109,7 +109,8 @@ verify_report verify_against(const sequencing_graph& graph,
         report.counterexamples.push_back(std::move(cx));
     };
 
-    const rtl_netlist net = build_rtl(graph, model, path);
+    const rtl_netlist net = build_rtl(graph, model, path, {},
+                                      elaborate_opts.legacy_output_recycling);
     const rtl_design design =
         elaborate(graph, path, net, "dut", elaborate_opts);
 
@@ -117,13 +118,13 @@ verify_report verify_against(const sequencing_graph& graph,
     // zero-extension) is a finding even before any value diverges. Skipped
     // when a legacy bug was *requested*, where violations are the point
     // and the interesting question is whether values diverge too.
-    if (!elaborate_opts.legacy_operand_extension &&
-        !elaborate_opts.legacy_capture_extension) {
-        for (const std::string& violation : validate_design(design)) {
+    if (!elaborate_opts.any()) {
+        for (const finding& violation : validate_design(design)) {
             if (report.counterexamples.size() >= max_counterexamples) {
                 return report;
             }
-            blame(0, "validate", op_id::invalid(), -1, 0, 0, violation);
+            blame(0, "validate", op_id::invalid(), -1, 0, 0,
+                  violation.to_string());
         }
         if (!report.counterexamples.empty()) {
             return report;
@@ -285,6 +286,80 @@ verify_report verify_graph(const sequencing_graph& graph,
             ilp.status == mip_status::limit_feasible) {
             check("ilp", ilp.path);
         }
+    }
+    return report;
+}
+
+analysis_report static_verify_graph(const sequencing_graph& graph,
+                                    const std::string& graph_name,
+                                    const hardware_model& model, int lambda,
+                                    const verify_options& options)
+{
+    analysis_report report;
+    if (graph.empty()) {
+        return report;
+    }
+    const auto check = [&](const std::string& allocator,
+                           const datapath& path) {
+        analysis_report one =
+            analyze_allocation(graph, model, path, options.elaborate);
+        for (finding& f : one.findings) {
+            f.location = graph_name + "/" + allocator + ": " + f.location;
+        }
+        report.merge(std::move(one));
+    };
+
+    if (options.use_heuristic) {
+        check("dpalloc", dpalloc(graph, model, lambda).path);
+    }
+    if (options.use_two_stage) {
+        check("two_stage", two_stage_allocate(graph, model, lambda).path);
+    }
+    if (options.use_descending) {
+        check("descending", descending_allocate(graph, model, lambda));
+    }
+    if (options.ilp_max_ops > 0 && graph.size() <= options.ilp_max_ops) {
+        const ilp_result ilp = solve_ilp(graph, model, lambda);
+        if (ilp.status == mip_status::optimal ||
+            ilp.status == mip_status::limit_feasible) {
+            check("ilp", ilp.path);
+        }
+    }
+    return report;
+}
+
+analysis_report static_verify_corpus(const corpus_spec& spec,
+                                     const hardware_model& model,
+                                     const verify_options& options,
+                                     thread_pool* pool)
+{
+    const std::vector<corpus_entry> corpus = make_corpus(spec, model);
+
+    std::vector<analysis_report> slots(corpus.size());
+    const auto run_one = [&](std::size_t i) {
+        const corpus_entry& e = corpus[i];
+        const int lambda = relaxed_lambda(e.lambda_min, options.slack);
+        const std::string name = "tgff(ops=" + std::to_string(spec.n_ops) +
+                                 ",seed=" + std::to_string(spec.seed) +
+                                 ")#" + std::to_string(i);
+        slots[i] = static_verify_graph(e.graph, name, model, lambda, options);
+    };
+
+    if (pool != nullptr && corpus.size() > 1) {
+        task_group tasks(*pool);
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+            tasks.run([&run_one, i] { run_one(i); });
+        }
+        tasks.wait();
+    } else {
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+            run_one(i);
+        }
+    }
+
+    analysis_report report;
+    for (analysis_report& slot : slots) {
+        report.merge(std::move(slot));
     }
     return report;
 }

@@ -19,6 +19,7 @@
 #ifndef MWL_VERIFY_DIFFERENTIAL_HPP
 #define MWL_VERIFY_DIFFERENTIAL_HPP
 
+#include "analyze/analyze.hpp"
 #include "model/hardware_model.hpp"
 #include "rtl/elaborate.hpp"
 #include "sim/simulator.hpp"
@@ -128,6 +129,21 @@ struct verify_report {
                                           const hardware_model& model,
                                           const verify_options& options,
                                           thread_pool* pool = nullptr);
+
+/// Static counterpart of verify_graph: allocate with every enabled
+/// allocator and run the value-range analyzer (analyze_allocation) on each
+/// result -- no input vectors executed. Finding locations are prefixed
+/// "graph/allocator: " so merged corpus reports stay attributable.
+/// `options.inputs_per_graph` and `options.seed` are ignored.
+[[nodiscard]] analysis_report static_verify_graph(
+    const sequencing_graph& graph, const std::string& graph_name,
+    const hardware_model& model, int lambda, const verify_options& options);
+
+/// Statically verify a whole generated corpus (verify_corpus without the
+/// simulations); with `pool`, one task per graph, merged in corpus order.
+[[nodiscard]] analysis_report static_verify_corpus(
+    const corpus_spec& spec, const hardware_model& model,
+    const verify_options& options, thread_pool* pool = nullptr);
 
 } // namespace mwl
 

@@ -17,6 +17,12 @@
 //
 //   mwl_verify --ops 8 --count 50 --inputs 16       # corpus sweep
 //   mwl_verify --graph filters/fir8.mwl --inputs 64 # specific designs
+//   mwl_verify --static --ops 8 --count 50          # analyzer, no vectors
+//
+// --static swaps the input-vector simulations for the static value-range
+// analyzer (src/analyze/): the same allocations are checked by abstract
+// interpretation instead of execution, so it covers *all* input values at
+// a fraction of the cost (see PERF.md).
 
 #include "dfg/analysis.hpp"
 #include "io/graph_io.hpp"
@@ -51,6 +57,8 @@ using namespace mwl;
         "                    <= N ops [0 = off]\n"
         "  --no-heuristic / --no-two-stage / --no-descending\n"
         "                    drop an allocator from the cross-check\n"
+        "  --static          static value-range analysis instead of input\n"
+        "                    vectors (--inputs/--ilp-max-ops ignored)\n"
         "  --jobs N          worker threads [hardware concurrency]\n";
     std::exit(code);
 }
@@ -66,6 +74,7 @@ int main(int argc, char** argv)
     verify_options options;
     double slack_pct = 25.0;
     std::size_t jobs = 0;
+    bool static_mode = false;
     std::vector<std::string> graph_files;
 
     for (int i = 1; i < argc; ++i) {
@@ -111,6 +120,8 @@ int main(int argc, char** argv)
                 options.use_two_stage = false;
             } else if (arg == "--no-descending") {
                 options.use_descending = false;
+            } else if (arg == "--static") {
+                static_mode = true;
             } else if (arg == "--jobs") {
                 jobs = count_value();
             } else if (arg == "--graph") {
@@ -155,6 +166,54 @@ int main(int argc, char** argv)
         const sonic_model model;
         thread_pool pool(jobs);
         stopwatch clock;
+
+        if (static_mode) {
+            analysis_report report;
+            std::size_t graphs = 0;
+            if (graph_files.empty()) {
+                report = static_verify_corpus(spec, model, options, &pool);
+                graphs = spec.count;
+            } else {
+                for (const std::string& path : graph_files) {
+                    std::ifstream in(path);
+                    if (!in) {
+                        std::cerr << "mwl_verify: cannot open " << path
+                                  << '\n';
+                        return 1;
+                    }
+                    const sequencing_graph graph = parse_graph(in);
+                    const int lambda = relaxed_lambda(
+                        min_latency(graph, model), options.slack);
+                    report.merge(static_verify_graph(graph, path, model,
+                                                     lambda, options));
+                    ++graphs;
+                }
+            }
+            const double wall = clock.seconds();
+            std::cout << "mwl_verify --static: " << graphs << " graphs, "
+                      << report.checks << " static checks in "
+                      << static_cast<long long>(wall * 1e3) << " ms";
+            if (wall > 0.0) {
+                std::cout << " ("
+                          << static_cast<long long>(
+                                 static_cast<double>(report.checks) / wall)
+                          << " checks/s, " << pool.size() << " threads)";
+            }
+            std::cout << '\n';
+            if (!report.ok() || !report.findings.empty()) {
+                std::cout << report.findings.size() << " finding(s):\n";
+                for (const finding& f : report.findings) {
+                    std::cout << "  " << f.to_string() << '\n';
+                }
+                if (report.truncated) {
+                    std::cout << "  ... finding list truncated\n";
+                }
+                std::cout << "FAIL\n";
+                return 1;
+            }
+            std::cout << "OK: all static value-range checks passed\n";
+            return 0;
+        }
 
         verify_report report;
         if (graph_files.empty()) {
