@@ -5,6 +5,7 @@
 #include "support/rng.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <unordered_set>
 
@@ -88,6 +89,40 @@ void parse_range(const std::string& text, std::size_t line_no, int& lo,
     hi = parse_int(text.substr(dots + 2), line_no, "slack");
 }
 
+/// `1e-6,1e-5` -> {1e-6, 1e-5}; each element a positive double, no
+/// duplicates (the budget list of a tune line).
+std::vector<double> parse_double_list(const std::string& text,
+                                      std::size_t line_no,
+                                      const std::string& what)
+{
+    std::vector<double> values;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t comma = std::min(text.find(',', pos), text.size());
+        const std::string token = text.substr(pos, comma - pos);
+        double value = 0.0;
+        try {
+            std::size_t used = 0;
+            value = std::stod(token, &used);
+            if (used != token.size() || !std::isfinite(value)) {
+                throw std::invalid_argument(token);
+            }
+        } catch (const std::exception&) {
+            fail_line(line_no, "bad " + what + " value '" + token + "'");
+        }
+        if (value <= 0.0) {
+            fail_line(line_no, what + " values must be positive");
+        }
+        if (std::find(values.begin(), values.end(), value) != values.end()) {
+            fail_line(line_no, "duplicate " + what + " value '" + token +
+                                   "'");
+        }
+        values.push_back(value);
+        pos = comma + 1;
+    }
+    return values;
+}
+
 /// key=value splitter for the lambda/model/perturb keyword lines.
 bool split_kv(const std::string& token, std::string& key, std::string& value)
 {
@@ -109,6 +144,7 @@ campaign_spec campaign_spec::parse(std::istream& in)
     bool saw_lambda = false;
     bool saw_model = false;
     bool saw_perturb = false;
+    bool saw_tune = false;
 
     const std::vector<std::string> known = scenario_names();
     std::string raw;
@@ -225,6 +261,47 @@ campaign_spec campaign_spec::parse(std::istream& in)
             if (spec.perturb_count < 1) {
                 fail_line(line_no, "perturb needs count=N (>= 1)");
             }
+        } else if (keyword == "tune") {
+            if (saw_tune) {
+                fail_line(line_no, "duplicate tune line");
+            }
+            saw_tune = true;
+            std::string token;
+            std::string key;
+            std::string value;
+            while (line >> token) {
+                if (!split_kv(token, key, value)) {
+                    fail_line(line_no, "expected key=value, got '" + token +
+                                           "'");
+                }
+                if (key == "budget") {
+                    spec.tune_budgets =
+                        parse_double_list(value, line_no, "budget");
+                } else if (key == "min-frac") {
+                    spec.tune_min_frac = parse_int(value, line_no,
+                                                   "min-frac");
+                } else if (key == "max-frac") {
+                    spec.tune_max_frac = parse_int(value, line_no,
+                                                   "max-frac");
+                } else if (key == "seed") {
+                    spec.tune_seed = parse_u64(value, line_no, "seed");
+                } else if (key == "max-steps") {
+                    spec.tune_max_steps =
+                        parse_u64(value, line_no, "max-steps");
+                } else if (key == "anneal") {
+                    spec.tune_anneal = parse_u64(value, line_no, "anneal");
+                } else {
+                    fail_line(line_no, "unknown tune key '" + key + "'");
+                }
+            }
+            if (spec.tune_budgets.empty()) {
+                fail_line(line_no, "tune needs budget=LIST");
+            }
+            if (spec.tune_min_frac < 0 ||
+                spec.tune_max_frac < spec.tune_min_frac) {
+                fail_line(line_no,
+                          "tune frac range must be 0 <= min <= max");
+            }
         } else {
             fail_line(line_no, "unknown keyword '" + keyword + "'");
         }
@@ -243,10 +320,18 @@ campaign_spec campaign_spec::parse(const std::string& text)
 
 std::string campaign_point::key() const
 {
-    return scenario + "/v" + std::to_string(variant) + "/a" +
-           std::to_string(adder_latency) + "m" +
-           std::to_string(mul_bits_per_cycle) + "/s" +
-           std::to_string(slack_percent);
+    std::string base = scenario + "/v" + std::to_string(variant) + "/a" +
+                       std::to_string(adder_latency) + "m" +
+                       std::to_string(mul_bits_per_cycle) + "/s" +
+                       std::to_string(slack_percent);
+    if (tuned) {
+        // %g keeps 1e-06 stable and short; untuned campaigns keep the
+        // historic key (and fingerprint) byte for byte.
+        std::ostringstream b;
+        b << budget;
+        base += "/b" + b.str();
+    }
+    return base;
 }
 
 std::vector<campaign_point> expand(const campaign_spec& spec)
@@ -265,7 +350,19 @@ std::vector<campaign_point> expand(const campaign_spec& spec)
                         p.adder_latency = adder;
                         p.mul_bits_per_cycle = bits;
                         p.slack_percent = slack;
-                        points.push_back(std::move(p));
+                        if (spec.tune_budgets.empty()) {
+                            points.push_back(std::move(p));
+                            continue;
+                        }
+                        // Tuning campaigns add the budget as the
+                        // innermost loop.
+                        for (const double budget : spec.tune_budgets) {
+                            campaign_point t = p;
+                            t.index = points.size();
+                            t.tuned = true;
+                            t.budget = budget;
+                            points.push_back(std::move(t));
+                        }
                     }
                 }
             }

@@ -12,6 +12,15 @@
 //   lambda slack=0..30 step=10   integer percent relaxations of lambda_min
 //   model adder-latency=1,2 mul-bits-per-cycle=4,8
 //   perturb count=2 flips=2 seed=2001
+//   tune budget=1e-6,1e-5 min-frac=2 max-frac=24 seed=2001
+//        max-steps=32 anneal=0
+//
+// A `tune` line turns the campaign into a wordlength-optimization sweep:
+// instead of allocating each point's graph as-is, the runner searches
+// per-operation fractional widths meeting the point's noise budget
+// (src/wordlength/optimizer.hpp) and records the tuned allocation. The
+// budget list adds an innermost loop to the grid; specs without a tune
+// line expand and fingerprint exactly as before.
 //
 // `expand()` turns a spec into the campaign's *deterministic point list*:
 // a fixed nested-loop order (scenario, variant, adder-latency, mul-bits,
@@ -63,6 +72,16 @@ struct campaign_spec {
     int perturb_flips = 2;
     std::uint64_t perturb_seed = 2001;
 
+    /// Wordlength tuning (the `tune` line): empty = a plain allocation
+    /// campaign. Non-empty = every grid point is optimized once per
+    /// budget, with these search knobs.
+    std::vector<double> tune_budgets;
+    int tune_min_frac = 2;
+    int tune_max_frac = 24;
+    std::uint64_t tune_seed = 2001;
+    std::size_t tune_max_steps = 32;
+    std::size_t tune_anneal = 0;
+
     friend bool operator==(const campaign_spec&,
                            const campaign_spec&) = default;
 
@@ -81,8 +100,13 @@ struct campaign_point {
     int adder_latency = 2;
     int mul_bits_per_cycle = 8;
     int slack_percent = 0;
+    /// Set on points of a tuning campaign (`tune` line): the output-noise
+    /// budget this point optimizes to.
+    bool tuned = false;
+    double budget = 0.0;
 
-    /// Stable id, e.g. "fir8/v1/a2m8/s10"; unique within a campaign.
+    /// Stable id, e.g. "fir8/v1/a2m8/s10" -- plus "/b1e-06" on tuned
+    /// points; unique within a campaign.
     [[nodiscard]] std::string key() const;
 };
 

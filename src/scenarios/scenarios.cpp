@@ -1,6 +1,7 @@
 #include "scenarios/scenarios.hpp"
 
 #include "support/error.hpp"
+#include "wordlength/tuned_graph.hpp"
 
 #include <algorithm>
 #include <utility>
@@ -413,6 +414,28 @@ std::vector<scenario> all_scenarios()
         make_rgb_to_ycbcr(10));
     add("adder_chain16", "16-link consecutive-addition chain stressor",
         make_adder_chain(16, 8));
+    // Wordlength-optimizer outputs, pinned as literal fractional
+    // assignments so the corpus (and its goldens) stays a deterministic
+    // function of nothing. The arrays are mwl_tune results at the spec in
+    // each description (gain model=attenuating, base-frac=8, cap=32,
+    // seed=2001, max-steps=64, anneal=200, slack=25);
+    // tests/wordlength_opt_test.cpp proves the optimizer still reproduces
+    // them, so drift in the search surfaces as a test failure, not a
+    // silently stale corpus entry.
+    const int fir8_tuned_f[] = {10, 10, 11, 10, 10, 10, 10, 10,
+                                10, 10, 10, 12, 11, 11, 10};
+    add("fir8_tuned1e6",
+        "fir8 retuned by mwl_tune to a 1e-6 output-noise budget",
+        apply_frac_bits(make_tune_problem(make_fir(fir8_w, 12),
+                                          gain_model::attenuating),
+                        fir8_tuned_f));
+    const int lattice4_tuned_f[] = {9, 9, 9, 9, 9, 9, 9, 9,
+                                    8, 9, 9, 9, 8, 8, 8, 8};
+    add("lattice4_tuned1e5",
+        "lattice4 retuned by mwl_tune to a 1e-5 output-noise budget",
+        apply_frac_bits(make_tune_problem(make_lattice(lattice_k, 12),
+                                          gain_model::attenuating),
+                        lattice4_tuned_f));
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <limits>
 #include <vector>
 
 #include <sys/socket.h>
@@ -160,6 +161,20 @@ long parse_long(const std::string& token, const std::string& value)
     }
 }
 
+/// `parse_long` + an explicit int range check: a value like
+/// retry-after-ms=99999999999 parses as a long on LP64, so an unchecked
+/// `static_cast<int>` would silently truncate it to garbage. Out-of-range
+/// is a malformed frame, same as an unparseable one.
+int parse_int(const std::string& token, const std::string& value)
+{
+    const long parsed = parse_long(token, value);
+    if (parsed < std::numeric_limits<int>::min() ||
+        parsed > std::numeric_limits<int>::max()) {
+        bad("numeric value out of range in '" + token + "'");
+    }
+    return static_cast<int>(parsed);
+}
+
 double parse_double(const std::string& token, const std::string& value)
 {
     try {
@@ -229,7 +244,7 @@ request parse_request(const std::string& payload)
         if (key == "id") {
             r.id = parse_u64(tokens[i], value);
         } else if (key == "lambda" && r.what == request::kind::alloc) {
-            r.lambda = static_cast<int>(parse_long(tokens[i], value));
+            r.lambda = parse_int(tokens[i], value);
             have_lambda = true;
         } else if (key == "slack" && r.what == request::kind::alloc) {
             r.slack = parse_double(tokens[i], value) / 100.0;
@@ -338,9 +353,9 @@ response parse_response(const std::string& payload)
         if (key == "id") {
             r.id = parse_u64(tokens[i], value);
         } else if (key == "lambda") {
-            r.lambda = static_cast<int>(parse_long(tokens[i], value));
+            r.lambda = parse_int(tokens[i], value);
         } else if (key == "latency") {
-            r.latency = static_cast<int>(parse_long(tokens[i], value));
+            r.latency = parse_int(tokens[i], value);
         } else if (key == "area") {
             r.area = parse_double(tokens[i], value);
         } else if (key == "cached") {
@@ -350,7 +365,7 @@ response parse_response(const std::string& payload)
         } else if (key == "micros") {
             r.micros = parse_double(tokens[i], value);
         } else if (key == "retry-after-ms") {
-            r.retry_after_ms = static_cast<int>(parse_long(tokens[i], value));
+            r.retry_after_ms = parse_int(tokens[i], value);
         } else if (r.what == response::status::error) {
             // A message that happens to contain '=': treat as free text.
             r.message = tokens[i];

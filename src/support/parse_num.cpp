@@ -1,0 +1,110 @@
+#include "support/parse_num.hpp"
+
+#include "support/error.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mwl {
+namespace {
+
+[[noreturn]] void bad_value(const std::string& text,
+                            const std::string& context)
+{
+    if (context.empty()) {
+        throw precondition_error("bad numeric value '" + text + "'");
+    }
+    throw precondition_error("bad numeric value in '" + context + "'");
+}
+
+[[noreturn]] void out_of_range(const std::string& text,
+                               const std::string& context)
+{
+    if (context.empty()) {
+        throw precondition_error("numeric value out of range '" + text +
+                                 "'");
+    }
+    throw precondition_error("numeric value out of range in '" + context +
+                             "'");
+}
+
+/// Runs one of the std::sto* functions under the shared contract: the
+/// whole token consumed, range errors distinct from parse errors.
+template <typename Fn>
+auto checked(Fn&& convert, const std::string& text,
+             const std::string& context)
+{
+    std::size_t used = 0;
+    try {
+        const auto value = convert(text, &used);
+        if (used != text.size()) {
+            bad_value(text, context);
+        }
+        return value;
+    } catch (const std::out_of_range&) {
+        out_of_range(text, context);
+    } catch (const std::invalid_argument&) {
+        bad_value(text, context);
+    }
+}
+
+void reject_sign(const std::string& text, const std::string& context)
+{
+    // stoul wraps negatives silently ("-1" -> 1.8e19); reject up front.
+    if (!text.empty() && text[0] == '-') {
+        bad_value(text, context);
+    }
+}
+
+} // namespace
+
+int parse_int_checked(const std::string& text, const std::string& context)
+{
+    return checked(
+        [](const std::string& t, std::size_t* used) {
+            return std::stoi(t, used);
+        },
+        text, context);
+}
+
+std::size_t parse_size_checked(const std::string& text,
+                               const std::string& context)
+{
+    reject_sign(text, context);
+    const unsigned long long value = checked(
+        [](const std::string& t, std::size_t* used) {
+            return std::stoull(t, used);
+        },
+        text, context);
+    if (value > static_cast<unsigned long long>(SIZE_MAX)) {
+        out_of_range(text, context);
+    }
+    return static_cast<std::size_t>(value);
+}
+
+std::uint64_t parse_u64_checked(const std::string& text,
+                                const std::string& context)
+{
+    reject_sign(text, context);
+    return checked(
+        [](const std::string& t, std::size_t* used) {
+            return std::stoull(t, used);
+        },
+        text, context);
+}
+
+double parse_double_checked(const std::string& text,
+                            const std::string& context)
+{
+    const double value = checked(
+        [](const std::string& t, std::size_t* used) {
+            return std::stod(t, used);
+        },
+        text, context);
+    if (!std::isfinite(value)) {
+        out_of_range(text, context);
+    }
+    return value;
+}
+
+} // namespace mwl

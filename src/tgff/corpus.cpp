@@ -2,6 +2,7 @@
 
 #include "dfg/analysis.hpp"
 #include "support/error.hpp"
+#include "support/parse_num.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -46,31 +47,23 @@ corpus_spec corpus_spec::parse(const std::vector<std::string>& tokens)
                     "'");
         const std::string key = token.substr(0, eq);
         const std::string value = token.substr(eq + 1);
-        // stoul/stoull wrap negatives silently ("-1" -> 1.8e19), which
-        // would sail past the >= 1 checks below; reject the sign up front.
-        require(value[0] != '-',
-                "corpus spec value must be non-negative in '" + token + "'");
-        try {
-            if (key == "ops") {
-                spec.n_ops = std::stoul(value);
-            } else if (key == "count") {
-                spec.count = std::stoul(value);
-            } else if (key == "seed") {
-                spec.seed = std::stoull(value);
-            } else if (key == "mul-fraction") {
-                spec.prototype.mul_fraction = std::stod(value);
-            } else if (key == "min-width") {
-                spec.prototype.min_width = std::stoi(value);
-            } else if (key == "max-width") {
-                spec.prototype.max_width = std::stoi(value);
-            } else {
-                require(false, "unknown corpus spec key '" + key + "'");
-            }
-        } catch (const std::invalid_argument&) {
-            require(false, "bad corpus spec value in '" + token + "'");
-        } catch (const std::out_of_range&) {
-            require(false, "corpus spec value out of range in '" + token +
-                               "'");
+        // parse_*_checked (support/parse_num.hpp): whole-token parses
+        // only, negatives rejected where unsigned, range errors named --
+        // so "ops=4x" and "count=-1" are diagnostics, not silent garbage.
+        if (key == "ops") {
+            spec.n_ops = parse_size_checked(value, token);
+        } else if (key == "count") {
+            spec.count = parse_size_checked(value, token);
+        } else if (key == "seed") {
+            spec.seed = parse_u64_checked(value, token);
+        } else if (key == "mul-fraction") {
+            spec.prototype.mul_fraction = parse_double_checked(value, token);
+        } else if (key == "min-width") {
+            spec.prototype.min_width = parse_int_checked(value, token);
+        } else if (key == "max-width") {
+            spec.prototype.max_width = parse_int_checked(value, token);
+        } else {
+            require(false, "unknown corpus spec key '" + key + "'");
         }
     }
     require(spec.n_ops >= 1, "corpus spec needs ops >= 1");

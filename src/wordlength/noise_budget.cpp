@@ -56,12 +56,24 @@ wordlength_assignment assign_fractional_widths(const sequencing_graph& graph,
 {
     require(gains.size() == graph.size(),
             "gain vector must cover every operation");
-    require(spec.budget > 0.0, "noise budget must be positive");
-    require(spec.min_frac_bits >= 0 &&
-                spec.min_frac_bits <= spec.max_frac_bits,
-            "invalid fractional-bit range");
-    for (const double g : gains) {
-        require(g >= 0.0, "gains must be non-negative");
+    // Name the offending field: the wordlength optimizer feeds this from
+    // user spec files, so "noise_spec.budget must be ..." is the
+    // difference between a fixable diagnostic and a scavenger hunt. A
+    // non-finite budget or gain would otherwise sail through (inf > 0)
+    // and corrupt the water-filling log2 below.
+    require(std::isfinite(spec.budget),
+            "noise_spec.budget must be finite");
+    require(spec.budget > 0.0, "noise_spec.budget must be positive");
+    require(spec.min_frac_bits >= 0,
+            "noise_spec.min_frac_bits must be non-negative");
+    require(spec.min_frac_bits <= spec.max_frac_bits,
+            "noise_spec.min_frac_bits must not exceed "
+            "noise_spec.max_frac_bits");
+    for (std::size_t i = 0; i < gains.size(); ++i) {
+        require(std::isfinite(gains[i]),
+                "gains[" + std::to_string(i) + "] must be finite");
+        require(gains[i] >= 0.0,
+                "gains[" + std::to_string(i) + "] must be non-negative");
     }
 
     const std::size_t n = graph.size();

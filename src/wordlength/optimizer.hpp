@@ -1,0 +1,93 @@
+// Error-budget-driven wordlength optimizer with real dpalloc cost.
+//
+// The closing loop of the multiple-wordlength literature (FpSynt,
+// arXiv:1307.8401): given an output roundoff-noise budget, search
+// per-operation fractional wordlengths whose cost is the *actual*
+// allocated datapath -- every candidate is re-widthed
+// (wordlength/tuned_graph.hpp) and pushed through the batch engine, so
+// the cost function is dpalloc's area/latency, not an analytic estimate.
+// An analytic model cannot see functional-unit sharing: widening one
+// signal can make two multipliers coverable by one resource and *shrink*
+// the datapath, which is precisely the effect a search over real
+// allocations exploits and an estimate misses.
+//
+// Search pipeline (all deterministic):
+//  1. Water-filling seed from `assign_fractional_widths` -- the noise
+//     model's minimum-bits start.
+//  2. Greedy descent over +-1 per-operation moves; each step evaluates
+//     every noise-feasible neighbour (one engine batch -- the dedup+LRU
+//     cache makes revisited candidates free) and takes the
+//     lexicographically best strict improvement in (area, total
+//     fractional bits, latency).
+//  3. Optional simulated-annealing refinement: a seeded xoshiro walk of
+//     +-1 moves with Metropolis acceptance on area, tracking the best
+//     design visited. Same seed, same result -- byte for byte.
+//
+// The engine is borrowed, so a tool can share one LRU across a whole
+// budget sweep (consecutive budgets revisit the same region of the
+// search space) and a campaign can share it across points.
+
+#ifndef MWL_WORDLENGTH_OPTIMIZER_HPP
+#define MWL_WORDLENGTH_OPTIMIZER_HPP
+
+#include "engine/batch_engine.hpp"
+#include "model/hardware_model.hpp"
+#include "wordlength/noise_budget.hpp"
+#include "wordlength/tuned_graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace mwl {
+
+struct optimizer_options {
+    noise_spec noise;            ///< budget + fractional-bit range
+    double slack = 0.25;         ///< per-candidate lambda relaxation
+    std::uint64_t seed = 2001;   ///< simulated-annealing stream
+    std::size_t max_steps = 64;  ///< greedy descent step cap
+    std::size_t anneal_iterations = 0; ///< 0 = greedy only
+    double anneal_temp = 0.05;   ///< initial temperature, fraction of area
+    /// true: evaluate each descent step's neighbours as one
+    /// submit()/drain() batch (parallel across the engine's pool). false:
+    /// evaluate with engine.run() only -- required when several optimizer
+    /// instances share one engine concurrently (the campaign runner),
+    /// since drain() is a global barrier.
+    bool batch_neighbors = true;
+};
+
+/// The best design found: a fractional assignment plus its allocation.
+struct tuned_design {
+    std::vector<int> frac_bits;
+    double noise_power = 0.0;  ///< achieved output noise (<= budget)
+    long long total_frac = 0;  ///< sum of frac_bits
+    int lambda = 0;            ///< latency constraint it was allocated at
+    int latency = 0;
+    double area = 0.0;
+};
+
+struct tune_stats {
+    std::size_t steps = 0;           ///< accepted greedy moves
+    std::size_t evaluations = 0;     ///< candidate allocations requested
+    std::size_t reused = 0;          ///< of those, answered by dedup/LRU
+    std::size_t anneal_accepted = 0; ///< Metropolis acceptances
+    bool interrupted = false;        ///< stopped early on SIGINT/SIGTERM
+};
+
+struct tune_result {
+    tuned_design best;
+    tune_stats stats;
+};
+
+/// Run the search. Throws `infeasible_error` when the budget is
+/// unreachable even at max_frac_bits (from the water-filling seed),
+/// `precondition_error` on malformed inputs, `error` if the seed design
+/// cannot be allocated. Deterministic in (problem, model, options) at
+/// every pool size and cache capacity.
+[[nodiscard]] tune_result optimize_wordlengths(const tune_problem& problem,
+                                               const hardware_model& model,
+                                               const optimizer_options& options,
+                                               batch_engine& engine);
+
+} // namespace mwl
+
+#endif // MWL_WORDLENGTH_OPTIMIZER_HPP

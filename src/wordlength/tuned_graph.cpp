@@ -1,0 +1,80 @@
+#include "wordlength/tuned_graph.hpp"
+
+#include "support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mwl {
+
+tune_problem make_tune_problem(const sequencing_graph& graph,
+                               gain_model gains, int base_frac_bits,
+                               int width_cap)
+{
+    require(!graph.empty(), "tune problem needs a non-empty graph");
+    require(base_frac_bits >= 0, "base_frac_bits must be non-negative");
+    require(width_cap >= 4 && width_cap <= 48,
+            "width_cap must be in [4, 48]");
+
+    tune_problem p;
+    p.graph = graph;
+    p.width_cap = width_cap;
+    p.coeff_gain.reserve(graph.size());
+    p.int_bits.reserve(graph.size());
+    p.coeff_bits.reserve(graph.size());
+    for (const op_id o : graph.all_ops()) {
+        const op_shape& s = graph.shape(o);
+        p.int_bits.push_back(std::max(1, s.width_a() - base_frac_bits));
+        if (s.kind() == op_kind::mul) {
+            p.coeff_bits.push_back(s.width_b());
+            p.coeff_gain.push_back(
+                gains == gain_model::unit
+                    ? 1.0
+                    : std::min(1.0, std::pow(2.0, (s.width_b() - 16) / 2.0)));
+        } else {
+            p.coeff_bits.push_back(0);
+            p.coeff_gain.push_back(1.0);
+        }
+    }
+    return p;
+}
+
+sequencing_graph apply_frac_bits(const tune_problem& problem,
+                                 std::span<const int> frac_bits)
+{
+    const sequencing_graph& base = problem.graph;
+    require(frac_bits.size() == base.size(),
+            "frac_bits must cover every operation");
+    sequencing_graph out;
+    for (const op_id o : base.all_ops()) {
+        const int f = frac_bits[o.value()];
+        require(f >= 0, "frac_bits must be non-negative");
+        const int width =
+            std::clamp(problem.int_bits[o.value()] + f, 1, problem.width_cap);
+        const op_shape& s = base.shape(o);
+        if (s.kind() == op_kind::mul) {
+            out.add_operation(
+                op_shape::multiplier(width, problem.coeff_bits[o.value()]),
+                base.op(o).name);
+        } else {
+            out.add_operation(op_shape::adder(width), base.op(o).name);
+        }
+    }
+    for (const op_id o : base.all_ops()) {
+        for (const op_id succ : base.successors(o)) {
+            out.add_dependency(o, succ);
+        }
+    }
+    return out;
+}
+
+long long total_frac_bits(std::span<const int> frac_bits)
+{
+    long long total = 0;
+    for (const int f : frac_bits) {
+        total += f;
+    }
+    return total;
+}
+
+} // namespace mwl

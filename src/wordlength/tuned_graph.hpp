@@ -1,0 +1,75 @@
+// Fractional-wordlength view of a sequencing graph.
+//
+// The wordlength optimizer (optimizer.hpp) searches per-operation
+// *fractional* bit counts; the allocator consumes plain operand widths.
+// This module is the bridge, and deliberately depends on nothing but the
+// graph layer so the scenario registry can pin tuned designs without
+// dragging in the engine:
+//
+//  * `make_tune_problem` decomposes a graph's widths into a fixed integer
+//    part (range bits, kept untouched by the search -- truncation moves
+//    the binary point, it must never overflow the value range) and a
+//    coefficient-gain vector for the roundoff-noise model.
+//  * `apply_frac_bits` rebuilds the graph with a candidate fractional
+//    assignment: an operation's data width becomes int_bits + frac_bits.
+//
+// Width convention for multipliers: op_shape normalises operands
+// wider-first, so "which operand is the data path" is not recoverable
+// from a shape. We treat the *wider* operand (width_a) as the tunable
+// data signal and the narrower one (width_b) as the constant coefficient,
+// which matches every scenario builder (coefficient widths never exceed
+// the accumulating data path they feed).
+
+#ifndef MWL_WORDLENGTH_TUNED_GRAPH_HPP
+#define MWL_WORDLENGTH_TUNED_GRAPH_HPP
+
+#include "dfg/sequencing_graph.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mwl {
+
+/// How per-multiplier coefficient gains are derived for the noise model
+/// when only widths (not coefficient values) are known.
+enum class gain_model {
+    /// Every path has unit gain: the conservative flat model.
+    unit,
+    /// A coefficient of width w models a constant of magnitude
+    /// ~2^{(w - 16)/2}, capped at 1: narrow coefficients are the small
+    /// impulse-response tails, wide ones the near-unity peaks -- the
+    /// width pattern every scenario builder encodes.
+    attenuating,
+};
+
+/// A graph decomposed for fractional-wordlength search.
+struct tune_problem {
+    sequencing_graph graph;         ///< base topology (original widths)
+    std::vector<double> coeff_gain; ///< per op; 1.0 for adders
+    std::vector<int> int_bits;      ///< per op integer (range) bits, >= 1
+    std::vector<int> coeff_bits;    ///< per op; 0 for adders
+    int width_cap = 32;             ///< data widths clamp to [1, cap]
+};
+
+/// Decompose `graph`, treating `base_frac_bits` of every operation's data
+/// width as fractional (int_bits = max(1, width - base_frac_bits)).
+/// Throws `precondition_error` on an empty graph or bad parameters.
+[[nodiscard]] tune_problem make_tune_problem(const sequencing_graph& graph,
+                                             gain_model gains = gain_model::unit,
+                                             int base_frac_bits = 8,
+                                             int width_cap = 32);
+
+/// The graph with data widths int_bits[o] + frac_bits[o] (clamped to
+/// [1, width_cap]); names, edges and coefficient widths are preserved,
+/// so equal inputs give byte-identical graphs. Throws
+/// `precondition_error` on a size mismatch or negative bits.
+[[nodiscard]] sequencing_graph apply_frac_bits(const tune_problem& problem,
+                                               std::span<const int> frac_bits);
+
+/// Sum of a fractional assignment -- the "total bits" the optimizer and
+/// its monotonicity tests compare.
+[[nodiscard]] long long total_frac_bits(std::span<const int> frac_bits);
+
+} // namespace mwl
+
+#endif // MWL_WORDLENGTH_TUNED_GRAPH_HPP

@@ -104,6 +104,35 @@ TEST(CampaignSpec, DiagnosticsCarryOneBasedLineNumbers)
     expect_spec_error("lambda step=5\n", "spec names no scenarios");
 }
 
+TEST(CampaignSpec, TuneDirectiveParses)
+{
+    const campaign_spec spec = campaign_spec::parse(
+        "scenario fir4\n"
+        "tune budget=1e-5,1e-6 min-frac=3 max-frac=20 seed=11 "
+        "max-steps=16 anneal=8\n");
+    EXPECT_EQ(spec.tune_budgets, (std::vector<double>{1e-5, 1e-6}));
+    EXPECT_EQ(spec.tune_min_frac, 3);
+    EXPECT_EQ(spec.tune_max_frac, 20);
+    EXPECT_EQ(spec.tune_seed, 11u);
+    EXPECT_EQ(spec.tune_max_steps, 16u);
+    EXPECT_EQ(spec.tune_anneal, 8u);
+
+    expect_spec_error("scenario fir4\ntune min-frac=3\n",
+                      "spec line 2: tune needs budget=LIST");
+    expect_spec_error("scenario fir4\ntune budget=1e-5,1e-5\n",
+                      "spec line 2: duplicate budget value");
+    expect_spec_error("scenario fir4\ntune budget=0\n",
+                      "spec line 2: budget values must be positive");
+    expect_spec_error("scenario fir4\ntune budget=junk\n",
+                      "spec line 2: bad budget value 'junk'");
+    expect_spec_error("scenario fir4\ntune budget=1e-5 min-frac=9 "
+                      "max-frac=4\n",
+                      "spec line 2: tune frac range must be 0 <= min <= max");
+    expect_spec_error(
+        "scenario fir4\ntune budget=1e-5\ntune budget=1e-6\n",
+        "spec line 3: duplicate tune line");
+}
+
 // ---------------------------------------------------------- expansion --
 
 TEST(CampaignExpand, NestedLoopOrderAndStableKeys)
@@ -131,6 +160,33 @@ TEST(CampaignExpand, NestedLoopOrderAndStableKeys)
         campaign_spec::parse("scenario fir4 fir8\n");
     EXPECT_NE(points_fingerprint(points),
               points_fingerprint(expand(other)));
+}
+
+TEST(CampaignExpand, TuneBudgetsFormTheInnermostLoop)
+{
+    const campaign_spec spec = campaign_spec::parse(
+        "scenario fir4\n"
+        "lambda slack=0..10 step=10\n"
+        "tune budget=1e-5,1e-6\n");
+    const std::vector<campaign_point> points = expand(spec);
+    // 1 scenario x 1 variant x 1 model x 2 slacks x 2 budgets.
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].key(), "fir4/v0/a2m8/s0/b1e-05");
+    EXPECT_EQ(points[1].key(), "fir4/v0/a2m8/s0/b1e-06");
+    EXPECT_EQ(points[2].key(), "fir4/v0/a2m8/s10/b1e-05");
+    EXPECT_EQ(points[3].key(), "fir4/v0/a2m8/s10/b1e-06");
+    for (const campaign_point& p : points) {
+        EXPECT_TRUE(p.tuned);
+    }
+    // Specs without a tune line keep their pre-tune keys (and thus
+    // their fingerprints): existing stores stay resumable.
+    const campaign_spec untuned = campaign_spec::parse(
+        "scenario fir4\nlambda slack=0..10 step=10\n");
+    const std::vector<campaign_point> plain = expand(untuned);
+    ASSERT_EQ(plain.size(), 2u);
+    EXPECT_EQ(plain[0].key(), "fir4/v0/a2m8/s0");
+    EXPECT_FALSE(plain[0].tuned);
+    EXPECT_NE(points_fingerprint(points), points_fingerprint(plain));
 }
 
 TEST(CampaignExpand, VariantGraphsAreDeterministic)
@@ -369,6 +425,46 @@ TEST(CampaignAcceptance, StatusAndDoubleResumeAreIdempotent)
     const run_result status = run(campaign_tool() + " --status " + dir);
     EXPECT_EQ(status.exit_code, 0) << status.output;
     EXPECT_NE(status.output.find("complete: 24 of 24 points"),
+              std::string::npos)
+        << status.output;
+}
+
+TEST(CampaignAcceptance, TunedCampaignRunsAndResumesDeterministically)
+{
+    fs::create_directories("campaign_test_tmp");
+    const std::string spec_path = "campaign_test_tmp/tuned.spec";
+    std::ofstream(spec_path) << "scenario fir4\n"
+                                "lambda slack=0..10 step=10\n"
+                                "tune budget=1e-5,1e-6 max-steps=8\n";
+
+    const auto run_fresh = [&](const std::string& dir,
+                               const std::string& json) {
+        fs::remove_all(dir);
+        const run_result r = run(campaign_tool() + " --run " + dir +
+                                 " --spec " + spec_path + " --jobs 2");
+        ASSERT_EQ(r.exit_code, 0) << r.output;
+        const run_result report = run(campaign_tool() + " --report " + dir +
+                                      " --json " + json);
+        ASSERT_EQ(report.exit_code, 0) << report.output;
+    };
+    run_fresh("campaign_test_tmp/tuned_a", "campaign_test_tmp/tuned_a.json");
+    run_fresh("campaign_test_tmp/tuned_b", "campaign_test_tmp/tuned_b.json");
+    // Tuning is seeded search, not timing: two independent runs agree
+    // byte for byte.
+    const std::string reference = slurp("campaign_test_tmp/tuned_a.json");
+    ASSERT_FALSE(reference.empty());
+    EXPECT_EQ(reference, slurp("campaign_test_tmp/tuned_b.json"));
+
+    // Resuming a complete tuned campaign re-executes nothing.
+    const run_result again =
+        run(campaign_tool() + " --resume campaign_test_tmp/tuned_a --jobs 2");
+    EXPECT_EQ(again.exit_code, 0) << again.output;
+    EXPECT_NE(again.output.find("0 executed"), std::string::npos)
+        << again.output;
+    const run_result status =
+        run(campaign_tool() + " --status campaign_test_tmp/tuned_a");
+    EXPECT_EQ(status.exit_code, 0) << status.output;
+    EXPECT_NE(status.output.find("complete: 4 of 4 points"),
               std::string::npos)
         << status.output;
 }

@@ -575,6 +575,29 @@ TEST(CliLint, ManifestErrorsReportTheirLineNumber)
                       "manifest line 1: cannot open graph file");
 }
 
+TEST(CliLint, BadNumericFlagValuesExitTwoNotAbort)
+{
+    // Regression: these went through bare std::stoi -- 'junk' aborted the
+    // process and '4x' silently parsed as 4 (exit 0, wrong corpus).
+    expect_fails_with(tool("mwl_lint") + " --min-width junk fir4", 2,
+                      "bad value for --min-width: bad numeric value 'junk'");
+    expect_fails_with(tool("mwl_lint") + " --min-width 4x fir4", 2,
+                      "bad value for --min-width: bad numeric value '4x'");
+    expect_fails_with(tool("mwl_lint") + " --max-width 99999999999999999999 fir4",
+                      2, "bad value for --max-width: numeric value out of range");
+    expect_fails_with(tool("mwl_lint") + " --seed -3 fir4", 2,
+                      "bad value for --seed: bad numeric value '-3'");
+}
+
+TEST(CliLint, ManifestBadNumericReportsItsLineNumber)
+{
+    // lambda=3x used to parse as lambda=3 with the 'x' dropped.
+    const std::string manifest = write_manifest(
+        "cli_test_lint_badnum.manifest", "corpus ops=4 count=1 lambda=3x\n");
+    expect_fails_with(tool("mwl_lint") + " --manifest " + manifest, 2,
+                      "manifest line 1: bad numeric value in 'lambda=3x'");
+}
+
 // --------------------------------------------------- mwl_verify --static --
 
 TEST(CliVerifyStatic, CleanCorpusExitsZero)
@@ -585,6 +608,103 @@ TEST(CliVerifyStatic, CleanCorpusExitsZero)
     EXPECT_NE(r.output.find("OK: all static value-range checks passed"),
               std::string::npos)
         << r.output;
+}
+
+// ------------------------------------------------------------ mwl_alloc --
+
+TEST(CliAlloc, BadNumericFlagValuesExitTwoNotAbort)
+{
+    // Regression: every one of these reached std::stoi/stod unchecked and
+    // aborted with an uncaught exception (exit 134).
+    expect_fails_with(tool("mwl_alloc") + " - --lambda junk", 2,
+                      "bad value for --lambda: bad numeric value 'junk'");
+    expect_fails_with(tool("mwl_alloc") + " - --slack junk", 2,
+                      "bad value for --slack: bad numeric value 'junk'");
+    expect_fails_with(
+        tool("mwl_alloc") + " - --jobs 999999999999999999999999", 2,
+        "bad value for --jobs: numeric value out of range");
+    expect_fails_with(tool("mwl_alloc") + " - --lambda 12x", 2,
+                      "bad value for --lambda: bad numeric value '12x'");
+}
+
+// ------------------------------------------------------------- mwl_verify --
+
+TEST(CliVerify, BadNumericFlagValuesExitTwoNotAbort)
+{
+    expect_fails_with(tool("mwl_verify") + " --inputs junk", 2,
+                      "bad value for --inputs: bad numeric value 'junk'");
+    expect_fails_with(tool("mwl_verify") + " --seed -3", 2,
+                      "bad value for --seed: bad numeric value '-3'");
+    expect_fails_with(tool("mwl_verify") + " --ops 10x", 2,
+                      "bad value for --ops: bad numeric value '10x'");
+}
+
+// -------------------------------------------------------------- mwl_tune --
+
+TEST(CliTune, ASpecIsRequired)
+{
+    const run_result r = run(tool("mwl_tune"));
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("usage: mwl_tune"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliTune, UnknownOptionAndBadValuesExitTwo)
+{
+    expect_fails_with(tool("mwl_tune") + " --frobnicate", 2,
+                      "unknown option --frobnicate");
+    expect_fails_with(tool("mwl_tune") + " spec --jobs junk", 2,
+                      "bad numeric value 'junk' for --jobs");
+}
+
+TEST(CliTune, SpecErrorsReportTheirLineNumber)
+{
+    const std::string bad_budget = write_manifest(
+        "cli_test_tune_bad_budget.spec", "scenario fir4\nbudget junk\n");
+    expect_fails_with(tool("mwl_tune") + " " + bad_budget, 2,
+                      "spec line 2: bad numeric value 'junk'");
+    const std::string bad_scenario = write_manifest(
+        "cli_test_tune_bad_scenario.spec",
+        "scenario no_such_filter\nbudget 1e-6\n");
+    expect_fails_with(tool("mwl_tune") + " " + bad_scenario, 2,
+                      "spec line 1: unknown scenario 'no_such_filter'");
+    const std::string no_budget = write_manifest(
+        "cli_test_tune_no_budget.spec", "scenario fir4\n");
+    expect_fails_with(tool("mwl_tune") + " " + no_budget, 2,
+                      "spec names no budgets");
+    const std::string bad_key = write_manifest(
+        "cli_test_tune_bad_key.spec",
+        "scenario fir4\nbudget 1e-6\nsearch wibble=2\n");
+    expect_fails_with(tool("mwl_tune") + " " + bad_key, 2,
+                      "spec line 3: unknown search key 'wibble'");
+}
+
+TEST(CliTune, MissingSpecFileExitsOne)
+{
+    expect_fails_with(tool("mwl_tune") + " cli_test_no_such.spec", 1,
+                      "cannot open cli_test_no_such.spec");
+}
+
+TEST(CliTune, TunesAScenarioFromStdinAndEmitsAFrontier)
+{
+    const run_result r =
+        run("echo 'scenario fir4\nbudget 1e-5\nsearch max-steps=2' | " +
+            tool("mwl_tune") + " - --jobs 2");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("front"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("evaluations"), std::string::npos) << r.output;
+}
+
+TEST(CliTune, UnreachableBudgetFailsThePointWithExitOne)
+{
+    // max 4 fractional bits cannot reach a 1e-30 budget: the point rows
+    // an error, the tool exits 1 (failures), not 2 (usage).
+    const std::string spec = write_manifest(
+        "cli_test_tune_infeasible.spec",
+        "scenario fir4\nbudget 1e-30\nfrac min=2 max=4\n");
+    const run_result r = run(tool("mwl_tune") + " " + spec);
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
 }
 
 } // namespace

@@ -315,6 +315,22 @@ TEST(ServeGrammar, ResponseRoundTripsBitExactDoubles)
                  serve::protocol_error);
 }
 
+TEST(ServeGrammar, IntFieldsBeyondIntRangeAreMalformedNotTruncated)
+{
+    // Regression: these parsed as long and were cast to int unchecked, so
+    // a wire value like 99999999999 silently wrapped. They must be
+    // protocol errors like any other malformed numeric.
+    EXPECT_THROW(static_cast<void>(serve::parse_response(
+                     "busy id=5 retry-after-ms=99999999999")),
+                 serve::protocol_error);
+    EXPECT_THROW(static_cast<void>(serve::parse_response(
+                     "ok id=1 lambda=99999999999 latency=3 area=1")),
+                 serve::protocol_error);
+    EXPECT_THROW(static_cast<void>(serve::parse_request(
+                     "alloc id=1 lambda=99999999999\ng")),
+                 serve::protocol_error);
+}
+
 TEST(ServeGrammar, EndpointParsing)
 {
     const serve::endpoint u = serve::parse_endpoint("unix:/tmp/x.sock");

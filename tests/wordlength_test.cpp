@@ -10,6 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
+#include <string>
 
 namespace mwl {
 namespace {
@@ -182,6 +185,42 @@ TEST(AssignWidths, InvalidSpecThrows)
     spec.max_frac_bits = 4;
     EXPECT_THROW(static_cast<void>(assign_fractional_widths(g, gains, spec)),
                  precondition_error);
+}
+
+TEST(AssignWidths, EdgeCaseSpecsNameTheOffendingField)
+{
+    // Regression: NaN/inf budgets sailed through the old `budget > 0`
+    // check (NaN compares false but then poisons every log2), and the
+    // diagnostics did not say which field was wrong.
+    const sequencing_graph g = small_linear_graph();
+    const std::vector<double> coeff{1.0, 1.0, 1.0};
+    auto gains = output_gains(g, coeff);
+    const auto expect_names = [&](const noise_spec& spec,
+                                  std::span<const double> gs,
+                                  const std::string& field) {
+        try {
+            static_cast<void>(assign_fractional_widths(g, gs, spec));
+            FAIL() << "expected precondition_error naming " << field;
+        } catch (const precondition_error& e) {
+            EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+                << e.what();
+        }
+    };
+    noise_spec spec;
+    spec.budget = std::numeric_limits<double>::quiet_NaN();
+    expect_names(spec, gains, "noise_spec.budget");
+    spec.budget = std::numeric_limits<double>::infinity();
+    expect_names(spec, gains, "noise_spec.budget");
+    spec.budget = -1e-6;
+    expect_names(spec, gains, "noise_spec.budget");
+    spec = noise_spec{};
+    spec.min_frac_bits = -1;
+    expect_names(spec, gains, "noise_spec.min_frac_bits");
+    spec = noise_spec{};
+    gains[1] = std::numeric_limits<double>::quiet_NaN();
+    expect_names(spec, gains, "gains[1]");
+    gains[1] = -2.0;
+    expect_names(spec, gains, "gains[1]");
 }
 
 TEST(AssignWidths, GreedyTrimReachesLocalMinimum)

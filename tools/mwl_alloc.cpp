@@ -31,6 +31,7 @@
 #include "report/table.hpp"
 #include "rtl/netlist.hpp"
 #include "rtl/verilog.hpp"
+#include "support/parse_num.hpp"
 #include "tgff/corpus.hpp"
 
 #include <fstream>
@@ -84,20 +85,18 @@ int main(int argc, char** argv)
             }
             return argv[++i];
         };
+        // parse_*_checked throws on malformed or out-of-range numbers
+        // (including trailing junk like "4x"), so a typo is a diagnostic
+        // and exit 2 -- never an uncaught stoi abort.
+        try {
         if (arg == "--lambda") {
-            lambda_arg = std::stoi(value());
+            lambda_arg = parse_int_checked(value());
         } else if (arg == "--slack") {
-            slack_arg = std::stod(value()) / 100.0;
+            slack_arg = parse_double_checked(value()) / 100.0;
         } else if (arg == "--sweep") {
             want_sweep = true;
         } else if (arg == "--jobs") {
-            const std::string text = value();
-            // stoul wraps negatives silently ("-1" -> 1.8e19 threads).
-            if (text.empty() || text[0] == '-') {
-                std::cerr << "mwl_alloc: --jobs must be non-negative\n";
-                usage(2);
-            }
-            sweep_jobs = std::stoul(text);
+            sweep_jobs = parse_size_checked(value());
         } else if (arg == "--algorithm") {
             algorithm = value();
         } else if (arg == "--verilog") {
@@ -113,6 +112,11 @@ int main(int argc, char** argv)
             usage(2);
         } else {
             graph_file = arg;
+        }
+        } catch (const error& e) {
+            std::cerr << "mwl_alloc: bad value for " << arg << ": "
+                      << e.what() << '\n';
+            usage(2);
         }
     }
     if (graph_file.empty()) {

@@ -32,6 +32,7 @@
 #include "model/hardware_model.hpp"
 #include "report/table.hpp"
 #include "support/interrupt.hpp"
+#include "support/parse_num.hpp"
 #include "support/timer.hpp"
 #include "tgff/corpus.hpp"
 #include "verify/differential.hpp"
@@ -103,32 +104,24 @@ bool take_directive(const std::string& token, directive& out)
         }
         return std::nullopt;
     };
-    try {
-        if (const auto v = value_of("lambda=")) {
-            out.lambda = std::stoi(*v);
-            return true;
-        }
-        if (const auto v = value_of("slack=")) {
-            out.slack = std::stod(*v) / 100.0;
-            require(out.slack >= 0.0, "slack must be non-negative");
-            return true;
-        }
-        if (const auto v = value_of("sweep=")) {
-            out.sweep_slack = std::stod(*v) / 100.0;
-            require(*out.sweep_slack >= 0.0, "sweep must be non-negative");
-            return true;
-        }
-        if (const auto v = value_of("verify=")) {
-            require(v->empty() || (*v)[0] != '-',
-                    "verify count must be non-negative");
-            out.verify_inputs = std::stoul(*v);
-            require(*out.verify_inputs >= 1, "verify needs >= 1 input");
-            return true;
-        }
-    } catch (const std::invalid_argument&) {
-        require(false, "bad numeric value in '" + token + "'");
-    } catch (const std::out_of_range&) {
-        require(false, "numeric value out of range in '" + token + "'");
+    if (const auto v = value_of("lambda=")) {
+        out.lambda = parse_int_checked(*v, token);
+        return true;
+    }
+    if (const auto v = value_of("slack=")) {
+        out.slack = parse_double_checked(*v, token) / 100.0;
+        require(out.slack >= 0.0, "slack must be non-negative");
+        return true;
+    }
+    if (const auto v = value_of("sweep=")) {
+        out.sweep_slack = parse_double_checked(*v, token) / 100.0;
+        require(*out.sweep_slack >= 0.0, "sweep must be non-negative");
+        return true;
+    }
+    if (const auto v = value_of("verify=")) {
+        out.verify_inputs = parse_size_checked(*v, token);
+        require(*out.verify_inputs >= 1, "verify needs >= 1 input");
+        return true;
     }
     return false;
 }
@@ -172,12 +165,8 @@ int main(int argc, char** argv)
         const auto count_value = [&]() -> std::size_t {
             const std::string text = value();
             try {
-                // stoul wraps negatives silently; reject the sign first.
-                if (!text.empty() && text[0] == '-') {
-                    throw std::invalid_argument(text);
-                }
-                return std::stoul(text);
-            } catch (const std::exception&) {
+                return parse_size_checked(text);
+            } catch (const error&) {
                 std::cerr << "mwl_batch: bad numeric value '" << text
                           << "' for " << arg << '\n';
                 usage(2);

@@ -22,6 +22,7 @@
 #include "io/graph_io.hpp"
 #include "model/hardware_model.hpp"
 #include "scenarios/scenarios.hpp"
+#include "support/parse_num.hpp"
 #include "support/timer.hpp"
 #include "verify/differential.hpp"
 
@@ -115,12 +116,11 @@ int main(int argc, char** argv)
             }
             return argv[++i];
         };
+        // parse_*_checked (support/parse_num.hpp) rejects malformed,
+        // out-of-range and partially numeric values ("4x"), so every bad
+        // number lands in the catch below: diagnostic + exit 2, no abort.
         const auto count_value = [&]() -> std::size_t {
-            const std::string text = value();
-            if (!text.empty() && text[0] == '-') {
-                throw std::invalid_argument(text);
-            }
-            return std::stoul(text);
+            return parse_size_checked(value());
         };
         try {
             if (arg == "--all") {
@@ -136,15 +136,16 @@ int main(int argc, char** argv)
             } else if (arg == "--count") {
                 spec.count = count_value();
             } else if (arg == "--seed") {
-                spec.seed = std::stoull(value());
+                spec.seed = parse_u64_checked(value());
             } else if (arg == "--mul-fraction") {
-                spec.prototype.mul_fraction = std::stod(value());
+                spec.prototype.mul_fraction =
+                    parse_double_checked(value());
             } else if (arg == "--min-width") {
-                spec.prototype.min_width = std::stoi(value());
+                spec.prototype.min_width = parse_int_checked(value());
             } else if (arg == "--max-width") {
-                spec.prototype.max_width = std::stoi(value());
+                spec.prototype.max_width = parse_int_checked(value());
             } else if (arg == "--slack") {
-                slack_pct = std::stod(value());
+                slack_pct = parse_double_checked(value());
             } else if (arg == "--no-heuristic") {
                 options.use_heuristic = false;
             } else if (arg == "--no-two-stage") {
@@ -165,8 +166,9 @@ int main(int argc, char** argv)
             } else {
                 scenario_args.push_back(arg);
             }
-        } catch (const std::exception&) {
-            std::cerr << "mwl_lint: bad value for " << arg << '\n';
+        } catch (const error& e) {
+            std::cerr << "mwl_lint: bad value for " << arg << ": "
+                      << e.what() << '\n';
             usage(2);
         }
     }
@@ -269,19 +271,19 @@ int main(int argc, char** argv)
                 double slack = default_slack;
                 std::vector<std::string> rest;
                 const auto take = [&](const std::string& token) {
-                    try {
-                        if (token.rfind("lambda=", 0) == 0) {
-                            lambda = std::stoi(token.substr(7));
-                        } else if (token.rfind("slack=", 0) == 0) {
-                            slack = std::stod(token.substr(6)) / 100.0;
-                        } else if (token.rfind("sweep=", 0) == 0 ||
-                                   token.rfind("verify=", 0) == 0) {
-                            // ignored
-                        } else {
-                            return false;
-                        }
-                    } catch (const std::exception&) {
-                        fail("bad numeric value in '" + token + "'");
+                    // checked parse: "lambda=4x" is a line diagnostic,
+                    // not a silent lambda=4 (and never an abort).
+                    if (token.rfind("lambda=", 0) == 0) {
+                        lambda = parse_int_checked(token.substr(7), token);
+                    } else if (token.rfind("slack=", 0) == 0) {
+                        slack =
+                            parse_double_checked(token.substr(6), token) /
+                            100.0;
+                    } else if (token.rfind("sweep=", 0) == 0 ||
+                               token.rfind("verify=", 0) == 0) {
+                        // ignored
+                    } else {
+                        return false;
                     }
                     return true;
                 };

@@ -27,6 +27,7 @@
 #include "dfg/analysis.hpp"
 #include "io/graph_io.hpp"
 #include "model/hardware_model.hpp"
+#include "support/parse_num.hpp"
 #include "support/timer.hpp"
 #include "verify/differential.hpp"
 
@@ -86,14 +87,12 @@ int main(int argc, char** argv)
             }
             return argv[++i];
         };
-        // stoul wraps negatives silently ("-3" -> 1.8e19); reject the
-        // sign up front so bad counts are diagnostics, not aborts.
+        // parse_*_checked (support/parse_num.hpp) rejects malformed,
+        // out-of-range, negative-where-unsigned and partially numeric
+        // values ("4x"), so every bad number lands in the catch below:
+        // diagnostic + exit 2, never an abort or a silent truncation.
         const auto count_value = [&]() -> std::size_t {
-            const std::string text = value();
-            if (!text.empty() && text[0] == '-') {
-                throw std::invalid_argument(text);
-            }
-            return std::stoul(text);
+            return parse_size_checked(value());
         };
         try {
             if (arg == "--ops") {
@@ -101,17 +100,18 @@ int main(int argc, char** argv)
             } else if (arg == "--count") {
                 spec.count = count_value();
             } else if (arg == "--seed") {
-                spec.seed = std::stoull(value());
+                spec.seed = parse_u64_checked(value());
             } else if (arg == "--mul-fraction") {
-                spec.prototype.mul_fraction = std::stod(value());
+                spec.prototype.mul_fraction =
+                    parse_double_checked(value());
             } else if (arg == "--min-width") {
-                spec.prototype.min_width = std::stoi(value());
+                spec.prototype.min_width = parse_int_checked(value());
             } else if (arg == "--max-width") {
-                spec.prototype.max_width = std::stoi(value());
+                spec.prototype.max_width = parse_int_checked(value());
             } else if (arg == "--inputs") {
                 options.inputs_per_graph = count_value();
             } else if (arg == "--slack") {
-                slack_pct = std::stod(value());
+                slack_pct = parse_double_checked(value());
             } else if (arg == "--ilp-max-ops") {
                 options.ilp_max_ops = count_value();
             } else if (arg == "--no-heuristic") {
@@ -132,8 +132,9 @@ int main(int argc, char** argv)
                 std::cerr << "mwl_verify: unknown option " << arg << '\n';
                 usage(2);
             }
-        } catch (const std::exception&) {
-            std::cerr << "mwl_verify: bad value for " << arg << '\n';
+        } catch (const error& e) {
+            std::cerr << "mwl_verify: bad value for " << arg << ": "
+                      << e.what() << '\n';
             usage(2);
         }
     }
